@@ -1,0 +1,66 @@
+#pragma once
+
+// Shared setup for the paper-reproduction benches: dataset construction,
+// pipeline configuration matching Sec. IV-A, and the belem/jakarta noise
+// histories (day 0 = Aug 10 2021; online window = last 146 days).
+
+#include <iostream>
+#include <string>
+
+#include "common/require.hpp"
+#include "common/table.hpp"
+#include "core/qucad.hpp"
+#include "core/strategies.hpp"
+#include "data/iris_synth.hpp"
+#include "data/mnist_synth.hpp"
+#include "data/seismic_synth.hpp"
+#include "eval/harness.hpp"
+#include "noise/calibration_history.hpp"
+
+namespace qucad::bench {
+
+inline Dataset make_dataset(const std::string& name) {
+  if (name == "mnist4") return make_mnist4(2000, 24);
+  if (name == "iris") return make_iris(150, 7);
+  if (name == "seismic") return make_seismic(1500, 11);
+  require(false, "unknown dataset " + name);
+  return {};
+}
+
+/// Paper-matched pipeline settings per dataset (Sec. IV-A): 2 VQC blocks for
+/// MNIST/seismic, 3 for Iris; 90/10 splits (66.6/33.4 for Iris).
+inline PipelineConfig paper_config(const std::string& dataset) {
+  PipelineConfig config;
+  if (dataset == "iris") {
+    config.ansatz_repeats = 3;
+    config.test_fraction = 0.334;
+  }
+  if (dataset == "mnist4") {
+    config.max_train_samples = 160;  // 16-feature circuits are ~2x deeper
+  }
+  config.constructor_options.kmeans.k = 6;  // Table II setting
+  config.constructor_options.admm = config.admm;
+  config.manager_options.admm = config.admm;
+  return config;
+}
+
+inline CalibrationHistory belem_history() {
+  return CalibrationHistory(FluctuationScenario::belem(),
+                            CalibrationHistory::kTotalDays, /*seed=*/2021);
+}
+
+inline CalibrationHistory jakarta_history() {
+  return CalibrationHistory(FluctuationScenario::jakarta(),
+                            CalibrationHistory::kTotalDays, /*seed=*/1107);
+}
+
+/// Dates of the online window for series printing.
+inline std::vector<std::string> online_dates(const CalibrationHistory& history) {
+  std::vector<std::string> dates;
+  for (int d = CalibrationHistory::kOfflineDays; d < history.days(); ++d) {
+    dates.push_back(history.date_string(d));
+  }
+  return dates;
+}
+
+}  // namespace qucad::bench

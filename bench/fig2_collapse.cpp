@@ -1,0 +1,71 @@
+// Figure 2 reproduction: daily accuracy of a 4-class MNIST QNN over the
+// online year under fluctuating noise.
+//  (a) noise-aware training on the first day [12]
+//  (b) compression on the first day [23]
+// The paper's observation: (a) collapses when noise surges (80% -> ~22% on
+// day ~24); (b) is consistently better but still dips during heterogeneous
+// episodes.
+
+#include "bench_common.hpp"
+
+using namespace qucad;
+using namespace qucad::bench;
+
+int main() {
+  const CalibrationHistory history = belem_history();
+  const Environment env =
+      prepare_environment(make_dataset("mnist4"), CouplingMap::belem(),
+                          history.day(0), paper_config("mnist4"));
+
+  const auto online = history.slice(CalibrationHistory::kOfflineDays,
+                                    CalibrationHistory::kOnlineDays);
+  const auto dates = online_dates(history);
+
+  NoiseAwareTrainOnceStrategy nat_once(env);
+  OneTimeCompressionStrategy compress_once(env);
+
+  HarnessOptions options;
+  const MethodResult nat_result =
+      run_longitudinal(nat_once, env, {}, online, options);
+  const MethodResult compress_result =
+      run_longitudinal(compress_once, env, {}, online, options);
+
+  std::cout << "=== Fig. 2: 4-class MNIST daily accuracy, " << dates.front()
+            << " .. " << dates.back() << " ===\n\n";
+  std::cout << "(a) " << nat_result.method << " (first day only)\n";
+  print_accuracy_series(std::cout, nat_result, dates, /*stride=*/7);
+  std::cout << "\n(b) " << compress_result.method << " (first day only)\n";
+  print_accuracy_series(std::cout, compress_result, dates, /*stride=*/7);
+
+  // Collapse diagnostics: worst stretch for each method.
+  auto worst = [](const MethodResult& r) {
+    std::size_t day = 0;
+    double acc = 1.0;
+    for (std::size_t d = 0; d < r.daily_accuracy.size(); ++d) {
+      if (r.daily_accuracy[d] < acc) {
+        acc = r.daily_accuracy[d];
+        day = d;
+      }
+    }
+    return std::make_pair(day, acc);
+  };
+  const auto [nat_day, nat_min] = worst(nat_result);
+  const auto [cmp_day, cmp_min] = worst(compress_result);
+
+  std::cout << "\nSummary:\n";
+  TextTable table({"Method", "Mean acc", "Min acc", "Min day", "Days>0.5"});
+  table.add_row({nat_result.method, fmt_pct(nat_result.metrics.mean_accuracy),
+                 fmt_pct(nat_min), dates[nat_day],
+                 std::to_string(nat_result.metrics.days_over_05)});
+  table.add_row({compress_result.method,
+                 fmt_pct(compress_result.metrics.mean_accuracy),
+                 fmt_pct(cmp_min), dates[cmp_day],
+                 std::to_string(compress_result.metrics.days_over_05)});
+  table.print(std::cout);
+
+  std::cout << "\nPaper reference: (a) holds >80% for ~3 weeks then collapses "
+               "to ~22% when error\nrates surge; (b) compression is markedly "
+               "better overall but dips during the\nheterogeneous episodes "
+               "(mid-March .. late May).\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 4 reproduction:
+//  (a) per-edge CNOT noise on three representative days, showing that the
+//      noisiest pair changes over time (heterogeneity).
+//  (b) noise-aware compressed models tuned on each of those days, tested
+//      on the following weeks: each model is best near its own day.
+
+#include "bench_common.hpp"
+#include "compress/admm.hpp"
+#include "qnn/evaluator.hpp"
+
+using namespace qucad;
+using namespace qucad::bench;
+
+int main() {
+  const CalibrationHistory history = belem_history();
+  // Analogues of the paper's 02/12, 03/15, 04/25: a quiet day, the <1,2>
+  // episode peak, and the <3,4> episode peak.
+  const int days[3] = {290, 313, 347};
+
+  std::cout << "=== Fig. 4(a): CNOT error per coupled pair ===\n\n";
+  TextTable noise_table({"Edge", history.date_string(days[0]),
+                         history.date_string(days[1]),
+                         history.date_string(days[2])});
+  for (const auto& [a, b] : history.day(0).edges()) {
+    noise_table.add_row(
+        {"<" + std::to_string(a) + "," + std::to_string(b) + ">",
+         fmt(history.day(days[0]).cx_error(a, b), 4),
+         fmt(history.day(days[1]).cx_error(a, b), 4),
+         fmt(history.day(days[2]).cx_error(a, b), 4)});
+  }
+  noise_table.print(std::cout);
+
+  const Environment env =
+      prepare_environment(make_dataset("mnist4"), CouplingMap::belem(),
+                          history.day(0), paper_config("mnist4"));
+
+  std::cout << "\n=== Fig. 4(b): compress on each day, test on following days "
+               "===\n\n";
+  std::vector<std::vector<double>> thetas;
+  for (int day : days) {
+    const CompressedModel compressed =
+        admm_compress(env.model, env.transpiled, env.theta_pretrained,
+                      env.train, history.day(day), env.admm);
+    thetas.push_back(compressed.theta);
+  }
+
+  TextTable acc_table({"Test day", "Train " + history.date_string(days[0]),
+                       "Train " + history.date_string(days[1]),
+                       "Train " + history.date_string(days[2])});
+  for (int test_day = 285; test_day <= 365; test_day += 8) {
+    std::vector<std::string> row{history.date_string(test_day)};
+    for (const auto& theta : thetas) {
+      row.push_back(fmt_pct(noisy_accuracy(env.model, env.transpiled, theta,
+                                           env.test, history.day(test_day))));
+    }
+    acc_table.add_row(row);
+  }
+  acc_table.print(std::cout);
+
+  std::cout << "\nPaper reference: on 02/12 the <3,4> pair is noisiest; by "
+               "03/15 and 04/25 the <1,2>\npair dominates. A model compressed "
+               "for one regime loses accuracy when the\nheterogeneous noise "
+               "shifts (79% -> 22.5%), and noise-aware compression on the\n"
+               "new day recovers it (38.5% / 80%).\n";
+  return 0;
+}

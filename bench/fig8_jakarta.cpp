@@ -1,0 +1,67 @@
+// Figure 8 reproduction: earthquake detection on the 7-qubit jakarta
+// device. Five rounds at different calibration times; Baseline vs
+// noise-aware training vs QuCAD. The paper reports QuCAD consistently
+// ~+13% over both competitors with visibly more stable accuracy.
+
+#include <memory>
+
+#include "bench_common.hpp"
+
+using namespace qucad;
+using namespace qucad::bench;
+
+int main() {
+  const CalibrationHistory history = jakarta_history();
+  // Subsample the offline history 3x: 7-qubit density matrices are ~16x
+  // more expensive than belem's and the clusters are unchanged.
+  std::vector<Calibration> offline;
+  for (int d = 0; d < CalibrationHistory::kOfflineDays; d += 3) {
+    offline.push_back(history.day(d));
+  }
+
+  PipelineConfig config = paper_config("seismic");
+  config.profile_samples = 32;
+  config.constructor_options.profile_samples = 32;
+  const Environment env = prepare_environment(
+      make_dataset("seismic"), CouplingMap::jakarta(), history.day(0), config);
+
+  // Five "execution rounds" at different times in the online window,
+  // including the edge-<1,3> episode around day 317.
+  const int rounds[5] = {250, 275, 317, 330, 370};
+
+  BaselineStrategy baseline(env);
+  NoiseAwareTrainOnceStrategy nat(env);
+  QuCadStrategy qucad(env);
+  qucad.offline(offline);
+
+  std::cout << "=== Fig. 8: earthquake detection on 7-qubit jakarta ===\n\n";
+  TextTable table({"Round", "Date", "Baseline", "Noise-aware Training",
+                   "QuCAD"});
+  double sum_base = 0.0, sum_nat = 0.0, sum_qucad = 0.0;
+  for (int r = 0; r < 5; ++r) {
+    const Calibration& calib = history.day(rounds[r]);
+    const auto theta_base = baseline.online_day(r, calib);
+    const auto theta_nat = nat.online_day(r, calib);
+    const auto theta_qucad = qucad.online_day(r, calib);
+
+    const double acc_base = noisy_accuracy(env.model, env.transpiled,
+                                           theta_base, env.test, calib);
+    const double acc_nat =
+        noisy_accuracy(env.model, env.transpiled, theta_nat, env.test, calib);
+    const double acc_qucad = noisy_accuracy(env.model, env.transpiled,
+                                            theta_qucad, env.test, calib);
+    sum_base += acc_base;
+    sum_nat += acc_nat;
+    sum_qucad += acc_qucad;
+    table.add_row({std::to_string(r + 1), history.date_string(rounds[r]),
+                   fmt_pct(acc_base), fmt_pct(acc_nat), fmt_pct(acc_qucad)});
+  }
+  table.add_row({"Avg", "", fmt_pct(sum_base / 5), fmt_pct(sum_nat / 5),
+                 fmt_pct(sum_qucad / 5)});
+  table.print(std::cout);
+
+  std::cout << "\nPaper reference: averages 0.656 (Baseline), 0.668 "
+               "(noise-aware training), 0.793\n(QuCAD) — QuCAD +13.7% / "
+               "+12.52% and the most stable across rounds.\n";
+  return 0;
+}

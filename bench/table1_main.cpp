@@ -1,0 +1,59 @@
+// Table I reproduction: the main comparison. Six methods x three datasets
+// over the 146-day online window with fluctuating noise:
+//   Baseline, Noise-aware Train Once [12], Noise-aware Train Everyday,
+//   One-time Compression [23], QuCAD w/o offline, QuCAD (ours).
+// Reported: mean accuracy (+delta vs baseline), variance, days over
+// 0.8 / 0.7 / 0.5 (+deltas).
+
+#include <memory>
+
+#include "bench_common.hpp"
+
+using namespace qucad;
+using namespace qucad::bench;
+
+int main(int argc, char** argv) {
+  // Optional single-dataset filter for faster iteration.
+  std::vector<std::string> datasets{"mnist4", "iris", "seismic"};
+  if (argc > 1) datasets = {argv[1]};
+
+  const CalibrationHistory history = belem_history();
+  const auto offline = history.slice(0, CalibrationHistory::kOfflineDays);
+  const auto online = history.slice(CalibrationHistory::kOfflineDays,
+                                    CalibrationHistory::kOnlineDays);
+
+  std::cout << "=== Table I: 146 online days (" << online_dates(history).front()
+            << " .. " << online_dates(history).back()
+            << ") on simulated belem ===\n\n";
+
+  for (const std::string& name : datasets) {
+    const Environment env = prepare_environment(
+        make_dataset(name), CouplingMap::belem(), history.day(0),
+        paper_config(name));
+
+    std::vector<std::unique_ptr<Strategy>> strategies;
+    strategies.push_back(std::make_unique<BaselineStrategy>(env));
+    strategies.push_back(std::make_unique<NoiseAwareTrainOnceStrategy>(env));
+    strategies.push_back(std::make_unique<NoiseAwareTrainEverydayStrategy>(env));
+    strategies.push_back(std::make_unique<OneTimeCompressionStrategy>(env));
+    strategies.push_back(std::make_unique<QuCadWithoutOfflineStrategy>(env));
+    strategies.push_back(std::make_unique<QuCadStrategy>(env));
+
+    std::vector<MethodResult> results;
+    for (auto& strategy : strategies) {
+      const bool wants_offline = strategy->name() == "QuCAD";
+      results.push_back(run_longitudinal(
+          *strategy, env, wants_offline ? offline : std::vector<Calibration>{},
+          online));
+    }
+    print_comparison_table(std::cout, results, name);
+    std::cout << "\n";
+  }
+
+  std::cout << "Paper reference (Table I): QuCAD gains +16.32% / +38.88% / "
+               "+15.36% mean accuracy\nover Baseline on MNIST-4 / Iris / "
+               "Seismic; compression-based methods dominate\nnoise-aware "
+               "training; QuCAD (offline+online) is best or tied on every "
+               "metric and\nhas the lowest variance among adaptive methods.\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Table II reproduction: the model-repository constructor's clustering
+// ablation. Standard k-means with L2 distance vs the proposed
+// performance-weighted k-means with dist^w_L1, K = 6 clusters over the
+// offline calibration history. Reported: mean accuracy of the cluster
+// models on their own clusters, and over all samples.
+
+#include "bench_common.hpp"
+#include "repo/constructor.hpp"
+
+using namespace qucad;
+using namespace qucad::bench;
+
+int main() {
+  const CalibrationHistory history = belem_history();
+  const auto offline = history.slice(0, CalibrationHistory::kOfflineDays);
+
+  const Environment env =
+      prepare_environment(make_dataset("mnist4"), CouplingMap::belem(),
+                          history.day(0), paper_config("mnist4"));
+
+  auto run = [&](ClusterMetric metric, bool performance_weights) {
+    ConstructorOptions options = env.constructor_options;
+    options.kmeans.k = 6;
+    options.kmeans.metric = metric;
+    OfflineBuild build =
+        build_repository(env.model, env.transpiled, env.theta_pretrained,
+                         offline, env.train, env.profile, options);
+    if (!performance_weights) {
+      // plain L2 k-means ignores the performance weighting by construction
+    }
+    return build.diagnostics;
+  };
+
+  std::cout << "=== Table II: clustering ablation (K=6, " << offline.size()
+            << " offline days, 4-class MNIST) ===\n\n";
+
+  const ConstructorDiagnostics l2 = run(ClusterMetric::L2, false);
+  const ConstructorDiagnostics weighted = run(ClusterMetric::WeightedL1, true);
+
+  TextTable table({"Method", "K", "Mean Acc. of Clusters",
+                   "Mean Acc. of Samples"});
+  table.add_row({"K-Means with L2", "6", fmt_pct(l2.mean_accuracy_of_clusters),
+                 fmt_pct(l2.mean_accuracy_of_samples)});
+  table.add_row({"Proposed K-Means with dist^w_L1", "6",
+                 fmt_pct(weighted.mean_accuracy_of_clusters),
+                 fmt_pct(weighted.mean_accuracy_of_samples)});
+  table.print(std::cout);
+
+  std::cout << "\nPerformance-aware weights (|corr(acc, noise_j)|):\n";
+  const auto names = history.day(0).feature_names();
+  TextTable wtable({"Feature", "Weight"});
+  for (std::size_t j = 0; j < weighted.weights.size(); ++j) {
+    wtable.add_row({names[j], fmt(weighted.weights[j], 3)});
+  }
+  wtable.print(std::cout);
+
+  std::cout << "\nPaper reference: 72.94% / 78.45% (L2) vs 75.83% / 80.68% "
+               "(dist^w_L1) — the\nproposed distance yields centroids that "
+               "represent their clusters better.\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Landscape explorer: dumps a CSV of the 2-parameter VQC loss/accuracy
+// surface with and without noise (the raw data behind the paper's Fig. 3),
+// for plotting with any external tool:
+//   landscape_explorer > surface.csv
+
+#include <cmath>
+#include <iostream>
+
+#include "noise/calibration_history.hpp"
+#include "qnn/evaluator.hpp"
+#include "qnn/model.hpp"
+#include "transpile/transpiler.hpp"
+
+using namespace qucad;
+
+int main(int argc, char** argv) {
+  const int grid = argc > 1 ? std::max(5, std::atoi(argv[1])) : 33;
+
+  const CalibrationHistory history(FluctuationScenario::belem(),
+                                   CalibrationHistory::kTotalDays, 2021);
+  const Calibration& calib = history.day(310);
+
+  QnnModel model;
+  model.circuit = Circuit(2);
+  model.circuit.ry(0, input(0));
+  model.circuit.ry(0, trainable(0));
+  model.circuit.cry(0, 1, trainable(1));
+  model.num_classes = 2;
+  model.readout_qubits = {0, 1};
+
+  const TranspiledModel transpiled = transpile_model(
+      model.circuit, model.readout_qubits, CouplingMap::belem(), &calib);
+
+  Dataset data;
+  data.num_classes = 2;
+  for (int i = 0; i < 24; ++i) {
+    const double x = (i + 0.5) * M_PI / 24.0;
+    data.features.push_back({x});
+    data.labels.push_back(x < M_PI / 2.0 ? 0 : 1);
+  }
+
+  std::cout << "theta0,theta1,acc_perfect,acc_noisy,deviation\n";
+  const double step = 2.0 * M_PI / grid;
+  for (int i = 0; i < grid; ++i) {
+    for (int j = 0; j < grid; ++j) {
+      const std::vector<double> theta{i * step, j * step};
+      const double perfect = noise_free_accuracy(model, theta, data);
+      const double noisy =
+          noisy_accuracy(model, transpiled, theta, data, calib);
+      std::cout << theta[0] << "," << theta[1] << "," << perfect << ","
+                << noisy << "," << (perfect - noisy) << "\n";
+    }
+  }
+  return 0;
+}

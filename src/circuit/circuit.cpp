@@ -1,0 +1,187 @@
+#include "circuit/circuit.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/require.hpp"
+
+namespace qucad {
+
+Circuit::Circuit(int num_qubits) : num_qubits_(num_qubits) {
+  require(num_qubits > 0 && num_qubits <= 24, "circuit qubit count out of range");
+}
+
+void Circuit::check_qubit(int q) const {
+  require(q >= 0 && q < num_qubits_, "qubit index out of range");
+}
+
+void Circuit::note_param(ParamRef p) {
+  if (p.kind == ParamRef::Kind::Trainable) {
+    num_trainable_ = std::max(num_trainable_, p.index + 1);
+  } else if (p.kind == ParamRef::Kind::Input) {
+    num_inputs_ = std::max(num_inputs_, p.index + 1);
+  }
+}
+
+Circuit& Circuit::add_rotation(GateKind kind, int q0, int q1, ParamRef p,
+                               double angle) {
+  check_qubit(q0);
+  if (gate_arity(kind) == 2) {
+    check_qubit(q1);
+    require(q0 != q1, "two-qubit gate requires distinct qubits");
+  } else {
+    q1 = -1;
+  }
+  note_param(p);
+  gates_.push_back(Gate{kind, q0, q1, p, angle});
+  return *this;
+}
+
+Circuit& Circuit::rx(int q, double angle) {
+  return add_rotation(GateKind::RX, q, -1, ParamRef{}, angle);
+}
+Circuit& Circuit::rx(int q, ParamRef p) {
+  return add_rotation(GateKind::RX, q, -1, p, 0.0);
+}
+Circuit& Circuit::ry(int q, double angle) {
+  return add_rotation(GateKind::RY, q, -1, ParamRef{}, angle);
+}
+Circuit& Circuit::ry(int q, ParamRef p) {
+  return add_rotation(GateKind::RY, q, -1, p, 0.0);
+}
+Circuit& Circuit::rz(int q, double angle) {
+  return add_rotation(GateKind::RZ, q, -1, ParamRef{}, angle);
+}
+Circuit& Circuit::rz(int q, ParamRef p) {
+  return add_rotation(GateKind::RZ, q, -1, p, 0.0);
+}
+Circuit& Circuit::crx(int control, int target, double angle) {
+  return add_rotation(GateKind::CRX, control, target, ParamRef{}, angle);
+}
+Circuit& Circuit::crx(int control, int target, ParamRef p) {
+  return add_rotation(GateKind::CRX, control, target, p, 0.0);
+}
+Circuit& Circuit::cry(int control, int target, double angle) {
+  return add_rotation(GateKind::CRY, control, target, ParamRef{}, angle);
+}
+Circuit& Circuit::cry(int control, int target, ParamRef p) {
+  return add_rotation(GateKind::CRY, control, target, p, 0.0);
+}
+Circuit& Circuit::crz(int control, int target, double angle) {
+  return add_rotation(GateKind::CRZ, control, target, ParamRef{}, angle);
+}
+Circuit& Circuit::crz(int control, int target, ParamRef p) {
+  return add_rotation(GateKind::CRZ, control, target, p, 0.0);
+}
+
+Circuit& Circuit::x(int q) {
+  return add_rotation(GateKind::X, q, -1, ParamRef{}, 0.0);
+}
+Circuit& Circuit::y(int q) {
+  return add_rotation(GateKind::Y, q, -1, ParamRef{}, 0.0);
+}
+Circuit& Circuit::z(int q) {
+  return add_rotation(GateKind::Z, q, -1, ParamRef{}, 0.0);
+}
+Circuit& Circuit::sx(int q) {
+  return add_rotation(GateKind::SX, q, -1, ParamRef{}, 0.0);
+}
+Circuit& Circuit::sxdg(int q) {
+  return add_rotation(GateKind::SXdg, q, -1, ParamRef{}, 0.0);
+}
+Circuit& Circuit::h(int q) {
+  return add_rotation(GateKind::H, q, -1, ParamRef{}, 0.0);
+}
+Circuit& Circuit::cx(int control, int target) {
+  return add_rotation(GateKind::CX, control, target, ParamRef{}, 0.0);
+}
+Circuit& Circuit::cz(int a, int b) {
+  return add_rotation(GateKind::CZ, a, b, ParamRef{}, 0.0);
+}
+Circuit& Circuit::swap(int a, int b) {
+  return add_rotation(GateKind::Swap, a, b, ParamRef{}, 0.0);
+}
+
+Circuit& Circuit::add(Gate gate) {
+  return add_rotation(gate.kind, gate.q0, gate.q1, gate.param, gate.value);
+}
+
+Circuit& Circuit::append(const Circuit& other) {
+  require(other.num_qubits_ == num_qubits_,
+          "append requires matching qubit counts");
+  for (const Gate& g : other.gates_) add(g);
+  return *this;
+}
+
+double Circuit::resolve_angle(const Gate& gate, std::span<const double> theta,
+                              std::span<const double> x) const {
+  switch (gate.param.kind) {
+    case ParamRef::Kind::None:
+      return gate.value;
+    case ParamRef::Kind::Trainable:
+      require(static_cast<std::size_t>(gate.param.index) < theta.size(),
+              "trainable parameter vector too short");
+      return theta[static_cast<std::size_t>(gate.param.index)];
+    case ParamRef::Kind::Input:
+      require(static_cast<std::size_t>(gate.param.index) < x.size(),
+              "input vector too short");
+      return x[static_cast<std::size_t>(gate.param.index)];
+  }
+  return gate.value;
+}
+
+Circuit Circuit::bind(std::span<const double> theta,
+                      std::span<const double> x) const {
+  Circuit out(num_qubits_);
+  for (const Gate& g : gates_) {
+    Gate bound = g;
+    const bool bind_trainable =
+        g.param.kind == ParamRef::Kind::Trainable && !theta.empty();
+    const bool bind_input = g.param.kind == ParamRef::Kind::Input && !x.empty();
+    if (bind_trainable || bind_input) {
+      bound.value = resolve_angle(g, theta, x);
+      bound.param = ParamRef{};
+    }
+    out.add(bound);
+  }
+  return out;
+}
+
+std::vector<std::size_t> Circuit::gates_for_trainable(int t) const {
+  std::vector<std::size_t> indices;
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    const Gate& g = gates_[i];
+    if (g.param.kind == ParamRef::Kind::Trainable && g.param.index == t) {
+      indices.push_back(i);
+    }
+  }
+  return indices;
+}
+
+std::size_t Circuit::two_qubit_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(gates_.begin(), gates_.end(),
+                    [](const Gate& g) { return g.num_qubits() == 2; }));
+}
+
+std::string Circuit::to_string() const {
+  std::ostringstream out;
+  out << "circuit(" << num_qubits_ << " qubits, " << gates_.size()
+      << " gates, " << num_trainable_ << " trainable, " << num_inputs_
+      << " inputs)\n";
+  for (const Gate& g : gates_) {
+    out << "  " << gate_name(g.kind) << " q" << g.q0;
+    if (g.q1 >= 0) out << ", q" << g.q1;
+    if (g.param.kind == ParamRef::Kind::Trainable) {
+      out << " theta[" << g.param.index << "]";
+    } else if (g.param.kind == ParamRef::Kind::Input) {
+      out << " x[" << g.param.index << "]";
+    } else if (is_rotation(g.kind)) {
+      out << " " << g.value;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace qucad

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "circuit/gate.hpp"
+
+namespace qucad {
+
+/// Quantum circuit IR: an ordered gate list over `num_qubits` wires with two
+/// symbolic parameter spaces (trainable weights and per-sample inputs).
+///
+/// The same IR serves logical circuits (the QNN ansatz), routed circuits
+/// (after SWAP insertion, still carrying symbolic parameters) and fully
+/// bound circuits (all angles literal).
+class Circuit {
+ public:
+  explicit Circuit(int num_qubits);
+
+  int num_qubits() const { return num_qubits_; }
+  int num_trainable() const { return num_trainable_; }
+  int num_inputs() const { return num_inputs_; }
+  const std::vector<Gate>& gates() const { return gates_; }
+  std::size_t size() const { return gates_.size(); }
+
+  // --- builders (rotations accept a literal angle or a symbolic reference) --
+  Circuit& rx(int q, double angle);
+  Circuit& rx(int q, ParamRef p);
+  Circuit& ry(int q, double angle);
+  Circuit& ry(int q, ParamRef p);
+  Circuit& rz(int q, double angle);
+  Circuit& rz(int q, ParamRef p);
+  Circuit& crx(int control, int target, double angle);
+  Circuit& crx(int control, int target, ParamRef p);
+  Circuit& cry(int control, int target, double angle);
+  Circuit& cry(int control, int target, ParamRef p);
+  Circuit& crz(int control, int target, double angle);
+  Circuit& crz(int control, int target, ParamRef p);
+  Circuit& x(int q);
+  Circuit& y(int q);
+  Circuit& z(int q);
+  Circuit& sx(int q);
+  Circuit& sxdg(int q);
+  Circuit& h(int q);
+  Circuit& cx(int control, int target);
+  Circuit& cz(int a, int b);
+  Circuit& swap(int a, int b);
+  Circuit& add(Gate gate);
+
+  /// Appends all gates of `other` (same qubit count required); parameter
+  /// index spaces are merged (max).
+  Circuit& append(const Circuit& other);
+
+  /// Resolves a gate's angle against parameter vectors. Fixed gates return
+  /// their stored literal.
+  double resolve_angle(const Gate& gate, std::span<const double> theta,
+                       std::span<const double> x) const;
+
+  /// Returns a copy with every symbolic parameter replaced by its literal
+  /// value from `theta` / `x` (pass empty spans to keep a space symbolic).
+  Circuit bind(std::span<const double> theta, std::span<const double> x) const;
+
+  /// Gate indices that reference trainable parameter slot `t`.
+  std::vector<std::size_t> gates_for_trainable(int t) const;
+
+  /// Count of two-qubit gates.
+  std::size_t two_qubit_count() const;
+
+  std::string to_string() const;
+
+ private:
+  Circuit& add_rotation(GateKind kind, int q0, int q1, ParamRef p, double angle);
+  void note_param(ParamRef p);
+  void check_qubit(int q) const;
+
+  int num_qubits_ = 0;
+  int num_trainable_ = 0;
+  int num_inputs_ = 0;
+  std::vector<Gate> gates_;
+};
+
+}  // namespace qucad

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace qucad {
+
+/// Thrown when a function precondition is violated.
+class PreconditionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Checks a precondition; throws PreconditionError with caller context on
+/// failure. Used at public API boundaries (cheap relative to the numerical
+/// work every caller is about to do).
+inline void require(bool condition, const std::string& message,
+                    std::source_location loc = std::source_location::current()) {
+  if (!condition) {
+    throw PreconditionError(std::string(loc.file_name()) + ":" +
+                            std::to_string(loc.line()) + ": " + message);
+  }
+}
+
+}  // namespace qucad

@@ -1,0 +1,59 @@
+#include "common/rng.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/require.hpp"
+
+namespace qucad {
+
+double Rng::uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  const double clamped = std::clamp(p, 0.0, 1.0);
+  std::bernoulli_distribution dist(clamped);
+  return dist(engine_);
+}
+
+std::size_t Rng::index(std::size_t n) {
+  require(n > 0, "Rng::index requires n > 0");
+  std::uniform_int_distribution<std::size_t> dist(0, n - 1);
+  return dist(engine_);
+}
+
+int Rng::integer(int lo, int hi) {
+  require(lo <= hi, "Rng::integer requires lo <= hi");
+  std::uniform_int_distribution<int> dist(lo, hi);
+  return dist(engine_);
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  require(!weights.empty(), "Rng::weighted_index requires non-empty weights");
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (total <= 0.0) return index(weights.size());
+  double r = uniform(0.0, total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  std::shuffle(perm.begin(), perm.end(), engine_);
+  return perm;
+}
+
+Rng Rng::fork() { return Rng(engine_()); }
+
+}  // namespace qucad

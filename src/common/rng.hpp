@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace qucad {
+
+/// Deterministic random source. Every stochastic component in the library
+/// takes an explicit Rng (or seed) so whole experiments are reproducible.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0);
+
+  /// Standard normal scaled to N(mean, stddev^2).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Uniform integer in [0, n).
+  std::size_t index(std::size_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int integer(int lo, int hi);
+
+  /// Samples an index from unnormalized non-negative weights.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Fisher–Yates shuffle of an index permutation [0, n).
+  std::vector<std::size_t> permutation(std::size_t n);
+
+  /// Derives an independent child generator (for per-thread streams).
+  Rng fork();
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace qucad

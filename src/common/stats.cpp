@@ -1,0 +1,84 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/require.hpp"
+
+namespace qucad {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double median(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  if (n % 2 == 1) return sorted[n / 2];
+  return 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+}
+
+double min_value(std::span<const double> xs) {
+  require(!xs.empty(), "min_value requires non-empty input");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_value(std::span<const double> xs) {
+  require(!xs.empty(), "max_value requires non-empty input");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+std::size_t argmax(std::span<const double> xs) {
+  if (xs.empty()) return 0;
+  return static_cast<std::size_t>(
+      std::distance(xs.begin(), std::max_element(xs.begin(), xs.end())));
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  require(xs.size() == ys.size(), "pearson requires equal-length inputs");
+  if (xs.size() < 2) return 0.0;
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  const double denom = std::sqrt(sxx * syy);
+  if (denom < std::numeric_limits<double>::epsilon()) return 0.0;
+  return sxy / denom;
+}
+
+std::size_t count_over(std::span<const double> xs, double threshold) {
+  return static_cast<std::size_t>(
+      std::count_if(xs.begin(), xs.end(), [&](double x) { return x > threshold; }));
+}
+
+double lerp_clamped(double x, double x0, double x1, double y0, double y1) {
+  if (x <= x0) return y0;
+  if (x >= x1) return y1;
+  const double t = (x - x0) / (x1 - x0);
+  return y0 + t * (y1 - y0);
+}
+
+}  // namespace qucad

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace qucad {
+
+/// Arithmetic mean; 0 for empty input.
+double mean(std::span<const double> xs);
+
+/// Population variance (divides by N); 0 for fewer than 2 points.
+double variance(std::span<const double> xs);
+
+double stddev(std::span<const double> xs);
+
+/// Median (average of middle two for even N).
+double median(std::span<const double> xs);
+
+double min_value(std::span<const double> xs);
+double max_value(std::span<const double> xs);
+
+/// Index of the maximum element; 0 for empty input.
+std::size_t argmax(std::span<const double> xs);
+
+/// Pearson correlation coefficient; 0 when either side has zero variance.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Number of elements strictly greater than the threshold.
+std::size_t count_over(std::span<const double> xs, double threshold);
+
+/// Linear interpolation between grid points.
+double lerp_clamped(double x, double x0, double x1, double y0, double y1);
+
+}  // namespace qucad

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace qucad {
+
+/// Console table formatter used by the benchmark harnesses to print
+/// paper-style tables (Table I, Table II, figure series).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with aligned columns and a header separator.
+  std::string to_string() const;
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (default 2 decimal places).
+std::string fmt(double value, int precision = 2);
+
+/// Formats a fraction as a percentage string, e.g. 0.7567 -> "75.67%".
+std::string fmt_pct(double fraction, int precision = 2);
+
+/// Formats a signed percentage delta, e.g. +16.32% / -0.65%.
+std::string fmt_pct_signed(double fraction, int precision = 2);
+
+}  // namespace qucad

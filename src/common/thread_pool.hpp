@@ -1,0 +1,46 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace qucad {
+
+/// Fixed-size worker pool. Tasks are void() closures; exceptions thrown by a
+/// task propagate out of parallel_for (first one wins).
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Runs body(i) for i in [0, count), distributed over the pool. Blocks
+  /// until all iterations finish. Falls back to serial execution for small
+  /// counts or when the pool has a single thread.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body);
+
+  /// Process-wide pool sized to the hardware; lazily constructed.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Convenience wrapper over ThreadPool::global().parallel_for.
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body);
+
+}  // namespace qucad

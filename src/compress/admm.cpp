@@ -1,0 +1,123 @@
+#include "compress/admm.hpp"
+
+#include "common/require.hpp"
+#include "compress/fine_tune.hpp"
+#include "qnn/evaluator.hpp"
+
+namespace qucad {
+
+CompressedModel admm_compress(const QnnModel& model,
+                              const TranspiledModel& transpiled,
+                              std::vector<double> theta_init,
+                              const Dataset& train_data,
+                              const Calibration& calibration,
+                              const AdmmOptions& options) {
+  const std::vector<double> theta_original = theta_init;
+  const std::size_t n = theta_init.size();
+  require(n == static_cast<std::size_t>(model.num_params()),
+          "parameter vector size mismatch");
+  require(transpiled.associations.size() == n,
+          "transpiled model does not match parameter count");
+
+  CompressedModel result;
+  {
+    const PhysicalCircuit before = lower_model(transpiled, theta_init);
+    result.cx_before = before.cx_count();
+    result.pulses_before = before.pulse_count();
+  }
+
+  std::vector<double> theta = std::move(theta_init);
+  std::vector<double> z = theta;
+  std::vector<double> u(n, 0.0);
+  MaskInfo mask_info;
+
+  for (int round = 0; round < options.iterations; ++round) {
+    // Mask rebuild from the current parameters (Fig. 6, iteration r).
+    mask_info = build_mask(theta, options.table, transpiled.associations,
+                           calibration, options.mode, options.policy);
+
+    // theta-update: loss + rho/2 ||theta - z + u||^2 via Adam.
+    std::vector<double> anchor(n);
+    for (std::size_t i = 0; i < n; ++i) anchor[i] = z[i] - u[i];
+    TrainConfig config;
+    config.epochs = options.epochs_per_iteration;
+    config.batch_size = options.batch_size;
+    config.lr = options.lr;
+    config.logit_scale = options.logit_scale;
+    config.seed = options.seed + static_cast<std::uint64_t>(round);
+    config.prox_anchor = &anchor;
+    config.prox_rho = options.rho;
+    train_circuit(model.circuit, model.readout_qubits, theta, train_data,
+                  config);
+
+    // z-update: projection onto the indicator set s_i (Eq. 4).
+    for (std::size_t i = 0; i < n; ++i) {
+      const double v = theta[i] + u[i];
+      z[i] = mask_info.mask[i]
+                 ? nearest_compression_level(v, mask_info.controlled[i] != 0,
+                                             options.table)
+                       .level
+                 : v;
+    }
+
+    // Dual ascent.
+    for (std::size_t i = 0; i < n; ++i) u[i] += theta[i] - z[i];
+  }
+
+  // Final mask from the converged parameters; hard-snap masked gates.
+  mask_info = build_mask(theta, options.table, transpiled.associations,
+                         calibration, options.mode, options.policy);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (mask_info.mask[i]) {
+      theta[i] = nearest_compression_level(
+                     theta[i], mask_info.controlled[i] != 0, options.table)
+                     .level;
+    }
+  }
+
+  // Noise-injected fine-tuning with compressed parameters frozen.
+  if (options.finetune_epochs > 0) {
+    NoiseAwareTrainOptions ft;
+    ft.epochs = options.finetune_epochs;
+    ft.batch_size = options.batch_size;
+    ft.lr = options.finetune_lr;
+    ft.logit_scale = options.logit_scale;
+    ft.injection_scale = options.injection_scale;
+    ft.seed = options.seed ^ 0x9e3779b97f4a7c15ULL;
+    ft.frozen = mask_info.mask;
+    noise_aware_train(model, transpiled, theta, train_data, calibration, ft);
+  }
+
+  result.theta = std::move(theta);
+  result.frozen = mask_info.mask;
+
+  if (options.keep_best && options.validation_samples > 0) {
+    // Score both candidates under the target calibration; ties favor the
+    // compressed model (shorter circuit).
+    const std::size_t n_val =
+        std::min(options.validation_samples, train_data.size());
+    std::vector<std::size_t> tail(n_val);
+    for (std::size_t i = 0; i < n_val; ++i) {
+      tail[i] = train_data.size() - n_val + i;
+    }
+    const Dataset validation = train_data.subset(tail);
+    const double acc_compressed = noisy_accuracy(
+        model, transpiled, result.theta, validation, calibration);
+    const double acc_original = noisy_accuracy(
+        model, transpiled, theta_original, validation, calibration);
+    if (acc_original > acc_compressed) {
+      result.theta = theta_original;
+      result.frozen.assign(n, 0);
+      result.kept_original = true;
+    }
+  }
+
+  {
+    const PhysicalCircuit after = lower_model(transpiled, result.theta);
+    result.cx_after = after.cx_count();
+    result.pulses_after = after.pulse_count();
+  }
+  return result;
+}
+
+}  // namespace qucad

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+
+#include "compress/mask.hpp"
+#include "data/dataset.hpp"
+#include "qnn/model.hpp"
+#include "transpile/transpiler.hpp"
+
+namespace qucad {
+
+struct AdmmOptions {
+  int iterations = 4;            // ADMM rounds
+  int epochs_per_iteration = 2;  // Adam epochs for the theta subproblem
+  int batch_size = 32;
+  double lr = 0.03;
+  double rho = 1.0;            // augmented-Lagrangian weight
+  double logit_scale = 5.0;
+  // The paper's pre-set priority threshold: with p_i = noise/d_i a fixed
+  // threshold masks few gates on quiet days and many on noisy ones, so the
+  // compression strength adapts to the calibration by construction.
+  // Noise-agnostic baselines should switch to a TopFraction budget.
+  MaskPolicy policy{MaskPolicy::Kind::Threshold, 0.02};
+  CompressionMode mode = CompressionMode::NoiseAware;
+  CompressionTable table;      // paper default {0, pi/2, pi, 3pi/2}
+  std::uint64_t seed = 4242;
+
+  // Post-ADMM noise-injected fine-tuning of the unmasked parameters.
+  // Injection is scaled below the calibrated rates: full-strength Pauli
+  // sampling makes mini-batch gradients too noisy to recover accuracy
+  // (QuantumNAT similarly tempers injected noise during training).
+  int finetune_epochs = 18;
+  double finetune_lr = 0.02;
+  double injection_scale = 0.3;
+
+  // Model selection guard: after fine-tuning, score the compressed and the
+  // original parameters on a held-out training slice under the *target*
+  // calibration (exact noisy evaluation) and keep the better one. On quiet
+  // days, where shortening the circuit buys less than the lost
+  // expressivity, this makes compression a no-op instead of a regression.
+  bool keep_best = true;
+  std::size_t validation_samples = 48;
+};
+
+/// Result of noise-aware compression: snapped parameters, the frozen mask
+/// (1 = parameter pinned at a compression level), and the physical cost
+/// before/after.
+struct CompressedModel {
+  std::vector<double> theta;
+  std::vector<std::uint8_t> frozen;
+  bool kept_original = false;  // keep_best selected the uncompressed model
+  std::size_t cx_before = 0, cx_after = 0;
+  std::size_t pulses_before = 0, pulses_after = 0;
+
+  double cx_reduction() const {
+    return cx_before == 0 ? 0.0
+                          : 1.0 - static_cast<double>(cx_after) /
+                                      static_cast<double>(cx_before);
+  }
+};
+
+/// The paper's noise-aware ADMM compression (Sec. III-B):
+/// minimizes f(W_p(theta)) + N(Z) + sum_i s_i(z_i) by alternating
+///   theta-update: Adam on the training loss + rho/2 ||theta - z + u||^2
+///   z-update:     z_i = T_admm_i for masked gates, pass-through otherwise
+///   dual ascent:  u += theta - z
+/// with the mask rebuilt every round from the current parameters, the
+/// compression table and the calibrated gate noise (Fig. 6). Finishes by
+/// hard-snapping masked parameters and noise-injection fine-tuning of the
+/// remaining ones on the routed circuit.
+CompressedModel admm_compress(const QnnModel& model,
+                              const TranspiledModel& transpiled,
+                              std::vector<double> theta_init,
+                              const Dataset& train_data,
+                              const Calibration& calibration,
+                              const AdmmOptions& options = {});
+
+}  // namespace qucad

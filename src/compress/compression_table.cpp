@@ -1,0 +1,48 @@
+#include "compress/compression_table.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/require.hpp"
+
+namespace qucad {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+constexpr double kTwoPi = 2.0 * kPi;
+
+double wrap(double angle) {
+  const double w = std::fmod(angle, kTwoPi);
+  return w < 0.0 ? w + kTwoPi : w;
+}
+}  // namespace
+
+CompressionTable::CompressionTable()
+    : CompressionTable({0.0, kPi / 2.0, kPi, 3.0 * kPi / 2.0}) {}
+
+CompressionTable::CompressionTable(std::vector<double> levels)
+    : levels_(std::move(levels)) {
+  require(!levels_.empty(), "compression table must have at least one level");
+  for (double& level : levels_) level = wrap(level);
+}
+
+CompressionTable::Nearest CompressionTable::nearest(double theta) const {
+  Nearest best;
+  best.distance = std::numeric_limits<double>::infinity();
+  const double t = wrap(theta);
+  for (double level : levels_) {
+    // Circular distance and the signed offset to the level's nearest
+    // representative.
+    double delta = level - t;
+    if (delta > kPi) delta -= kTwoPi;
+    if (delta < -kPi) delta += kTwoPi;
+    const double dist = std::abs(delta);
+    if (dist < best.distance) {
+      best.distance = dist;
+      best.level = theta + delta;  // stay on theta's branch
+    }
+  }
+  return best;
+}
+
+}  // namespace qucad

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <vector>
+
+namespace qucad {
+
+/// The table T of compression levels (the paper's "breakpoints"): rotation
+/// angles whose physical decomposition is shorter than the generic one.
+/// Defaults to {0, pi/2, pi, 3pi/2}; distances are measured on the circle
+/// (period 2*pi), and nearest_level returns the representative on theta's
+/// own branch so snapping moves the parameter by at most `distance`.
+class CompressionTable {
+ public:
+  CompressionTable();  // the paper's default levels
+  explicit CompressionTable(std::vector<double> levels);
+
+  const std::vector<double>& levels() const { return levels_; }
+
+  struct Nearest {
+    double level = 0.0;    // snapped angle, on theta's branch
+    double distance = 0.0; // circular distance |theta - level|
+  };
+
+  /// Nearest compression level to theta (T_admm_i and d_i of Fig. 6).
+  Nearest nearest(double theta) const;
+
+ private:
+  std::vector<double> levels_;  // normalized to [0, 2*pi)
+};
+
+}  // namespace qucad

@@ -1,0 +1,81 @@
+#include "core/qucad.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace qucad {
+
+PipelineConfig::PipelineConfig() {
+  pretrain.epochs = 40;
+  pretrain.batch_size = 32;
+  pretrain.lr = 0.05;
+  pretrain.logit_scale = 5.0;
+
+  // Tuned on the belem episode days: top-20% masks, tempered injection and
+  // a dozen fine-tune epochs recover paper-scale accuracy after snapping.
+  admm.iterations = 4;
+  admm.epochs_per_iteration = 2;
+  admm.batch_size = 32;
+  admm.lr = 0.03;
+  admm.finetune_epochs = 12;
+  admm.finetune_lr = 0.02;
+
+  nat.epochs = 8;
+  nat.batch_size = 32;
+  nat.lr = 0.02;
+
+  constructor_options.admm = admm;
+  constructor_options.profile_samples = profile_samples;
+  manager_options.admm = admm;
+}
+
+Environment prepare_environment(const Dataset& raw_data,
+                                const CouplingMap& coupling,
+                                const Calibration& layout_calibration,
+                                const PipelineConfig& config) {
+  require(raw_data.size() > 10, "dataset too small");
+  Environment env;
+
+  // Split and scale (scaler fit on train only).
+  const TrainTestSplit split = split_dataset(raw_data, config.test_fraction);
+  const FeatureScaler scaler = FeatureScaler::fit(split.train);
+  Dataset train_full = scaler.transform(split.train);
+  Dataset test_full = scaler.transform(split.test);
+
+  env.train = train_full.take(std::min(config.max_train_samples, train_full.size()));
+  env.test = test_full.take(std::min(config.max_test_samples, test_full.size()));
+
+  // Profile slice: the tail of the scaled training data (disjoint from the
+  // capped training set whenever the dataset is large enough).
+  {
+    const std::size_t want = config.profile_samples;
+    const std::size_t start = train_full.size() > want ? train_full.size() - want : 0;
+    std::vector<std::size_t> idx;
+    for (std::size_t i = start; i < train_full.size(); ++i) idx.push_back(i);
+    env.profile = train_full.subset(idx);
+  }
+
+  // Model + noise-free pretraining.
+  env.model = build_paper_model(config.num_qubits,
+                                static_cast<int>(env.train.num_features()),
+                                raw_data.num_classes, config.ansatz_repeats);
+  env.theta_pretrained = init_params(env.model, config.seed);
+  TrainConfig pretrain = config.pretrain;
+  pretrain.seed = config.seed * 7919 + 13;
+  train_model(env.model, env.theta_pretrained, env.train, pretrain);
+
+  // Fixed routing for the whole experiment (Sec. III-B: compression operates
+  // on the circuit after routing on the restricted topology).
+  env.transpiled = transpile_model(env.model.circuit, env.model.readout_qubits,
+                                   coupling, &layout_calibration);
+
+  env.admm = config.admm;
+  env.nat = config.nat;
+  env.constructor_options = config.constructor_options;
+  env.manager_options = config.manager_options;
+  env.eval = config.eval;
+  return env;
+}
+
+}  // namespace qucad

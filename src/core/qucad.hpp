@@ -1,0 +1,39 @@
+#pragma once
+
+#include "core/strategy.hpp"
+
+namespace qucad {
+
+/// End-to-end pipeline configuration: model shape, pretraining, and the
+/// shared adaptation knobs. Defaults are sized so a full 146-day Table-I
+/// sweep runs in minutes on a workstation while preserving the paper's
+/// relative effects.
+struct PipelineConfig {
+  int num_qubits = 4;
+  int ansatz_repeats = 2;   // paper: 2 for MNIST/seismic, 3 for Iris
+  double test_fraction = 0.1;
+  std::size_t max_train_samples = 192;  // cap for training-time control
+  std::size_t max_test_samples = 100;   // cap for daily noisy evaluation
+  std::size_t profile_samples = 48;     // offline per-day profiling set
+  std::uint64_t seed = 5;
+
+  TrainConfig pretrain;  // noise-free pretraining
+  AdmmOptions admm;
+  NoiseAwareTrainOptions nat;
+  ConstructorOptions constructor_options;
+  ManagerOptions manager_options;
+  NoisyEvalOptions eval;
+
+  PipelineConfig();
+};
+
+/// Builds the shared Environment for a dataset/device pair:
+/// scales features to encoding angles, pretrains the QNN noise-free,
+/// routes it onto the device (noise-aware layout on `layout_calibration`),
+/// and wires the option structs through.
+Environment prepare_environment(const Dataset& raw_data,
+                                const CouplingMap& coupling,
+                                const Calibration& layout_calibration,
+                                const PipelineConfig& config);
+
+}  // namespace qucad

@@ -1,0 +1,5 @@
+#include "core/strategy.hpp"
+
+// Strategy is header-only today; this translation unit anchors the vtable.
+
+namespace qucad {}

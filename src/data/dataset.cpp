@@ -1,0 +1,107 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/require.hpp"
+
+namespace qucad {
+
+Dataset Dataset::subset(const std::vector<std::size_t>& indices) const {
+  Dataset out;
+  out.num_classes = num_classes;
+  out.name = name;
+  out.features.reserve(indices.size());
+  out.labels.reserve(indices.size());
+  for (std::size_t i : indices) {
+    require(i < size(), "subset index out of range");
+    out.features.push_back(features[i]);
+    out.labels.push_back(labels[i]);
+  }
+  return out;
+}
+
+Dataset Dataset::take(std::size_t count) const {
+  std::vector<std::size_t> indices(std::min(count, size()));
+  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  return subset(indices);
+}
+
+std::vector<std::size_t> Dataset::class_counts() const {
+  std::vector<std::size_t> counts(static_cast<std::size_t>(num_classes), 0);
+  for (int label : labels) {
+    require(label >= 0 && label < num_classes, "label out of range");
+    ++counts[static_cast<std::size_t>(label)];
+  }
+  return counts;
+}
+
+TrainTestSplit split_dataset(const Dataset& data, double test_fraction,
+                             std::uint64_t shuffle_seed, bool shuffle) {
+  require(test_fraction > 0.0 && test_fraction < 1.0,
+          "test fraction must be in (0, 1)");
+  std::vector<std::size_t> order(data.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  if (shuffle) {
+    Rng rng(shuffle_seed);
+    order = rng.permutation(data.size());
+  }
+  const std::size_t test_count =
+      static_cast<std::size_t>(std::round(test_fraction * static_cast<double>(data.size())));
+  const std::size_t train_count = data.size() - test_count;
+  TrainTestSplit split;
+  split.train = data.subset({order.begin(), order.begin() + static_cast<std::ptrdiff_t>(train_count)});
+  split.test = data.subset({order.begin() + static_cast<std::ptrdiff_t>(train_count), order.end()});
+  return split;
+}
+
+FeatureScaler FeatureScaler::fit(const Dataset& data, double lo, double hi) {
+  require(!data.features.empty(), "cannot fit scaler on empty dataset");
+  require(hi > lo, "scaler range must be positive");
+  const std::size_t d = data.num_features();
+  FeatureScaler scaler;
+  scaler.lo_ = lo;
+  scaler.hi_ = hi;
+  scaler.min_.assign(d, std::numeric_limits<double>::infinity());
+  std::vector<double> maxv(d, -std::numeric_limits<double>::infinity());
+  for (const auto& row : data.features) {
+    require(row.size() == d, "ragged feature matrix");
+    for (std::size_t j = 0; j < d; ++j) {
+      scaler.min_[j] = std::min(scaler.min_[j], row[j]);
+      maxv[j] = std::max(maxv[j], row[j]);
+    }
+  }
+  scaler.range_.resize(d);
+  for (std::size_t j = 0; j < d; ++j) {
+    const double r = maxv[j] - scaler.min_[j];
+    scaler.range_[j] = r > 1e-12 ? r : 1.0;
+  }
+  return scaler;
+}
+
+Dataset FeatureScaler::transform(const Dataset& data) const {
+  Dataset out = data;
+  for (auto& row : out.features) {
+    require(row.size() == min_.size(), "feature dimension mismatch");
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      double unit = (row[j] - min_[j]) / range_[j];
+      unit = std::clamp(unit, 0.0, 1.0);
+      row[j] = lo_ + unit * (hi_ - lo_);
+    }
+  }
+  return out;
+}
+
+double accuracy_score(const std::vector<int>& truth,
+                      const std::vector<int>& predicted) {
+  require(truth.size() == predicted.size() && !truth.empty(),
+          "accuracy requires equal-length non-empty inputs");
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] == predicted[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(truth.size());
+}
+
+}  // namespace qucad

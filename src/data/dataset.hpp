@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace qucad {
+
+/// A labelled classification dataset with dense real features.
+struct Dataset {
+  std::vector<std::vector<double>> features;
+  std::vector<int> labels;
+  int num_classes = 0;
+  std::string name;
+
+  std::size_t size() const { return features.size(); }
+  std::size_t num_features() const {
+    return features.empty() ? 0 : features.front().size();
+  }
+
+  /// Rows selected by index (copy).
+  Dataset subset(const std::vector<std::size_t>& indices) const;
+
+  /// First `count` rows.
+  Dataset take(std::size_t count) const;
+
+  /// Per-class sample counts.
+  std::vector<std::size_t> class_counts() const;
+};
+
+/// Deterministic split: first (1-test_fraction) for training, rest for test
+/// (matching the paper's "former 90% for training" convention). Set
+/// shuffle_seed to shuffle before splitting.
+struct TrainTestSplit {
+  Dataset train;
+  Dataset test;
+};
+TrainTestSplit split_dataset(const Dataset& data, double test_fraction,
+                             std::uint64_t shuffle_seed = 0,
+                             bool shuffle = false);
+
+/// Min-max scaler mapping each feature dimension to [lo, hi]; fit on train,
+/// applied to any set (angle encoding wants [0, pi]).
+class FeatureScaler {
+ public:
+  static FeatureScaler fit(const Dataset& data, double lo = 0.0,
+                           double hi = 3.14159265358979323846);
+  Dataset transform(const Dataset& data) const;
+
+ private:
+  std::vector<double> min_;
+  std::vector<double> range_;  // max - min, 1 when degenerate
+  double lo_ = 0.0;
+  double hi_ = 1.0;
+};
+
+/// Classification accuracy of predicted labels.
+double accuracy_score(const std::vector<int>& truth,
+                      const std::vector<int>& predicted);
+
+}  // namespace qucad

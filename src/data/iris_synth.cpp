@@ -1,0 +1,48 @@
+#include "data/iris_synth.hpp"
+
+#include <array>
+
+#include "common/require.hpp"
+
+namespace qucad {
+
+namespace {
+
+struct ClassStats {
+  std::array<double, 4> mean;
+  std::array<double, 4> stddev;
+};
+
+// Published per-class statistics of Fisher's iris data.
+constexpr std::array<ClassStats, 3> kClasses = {{
+    {{5.01, 3.43, 1.46, 0.25}, {0.35, 0.38, 0.17, 0.11}},  // setosa
+    {{5.94, 2.77, 4.26, 1.33}, {0.52, 0.31, 0.47, 0.20}},  // versicolor
+    {{6.59, 2.97, 5.55, 2.03}, {0.64, 0.32, 0.55, 0.27}},  // virginica
+}};
+
+}  // namespace
+
+Dataset make_iris(std::size_t samples, std::uint64_t seed) {
+  require(samples >= 3, "need at least one sample per class");
+  Rng rng(seed);
+  Dataset data;
+  data.name = "iris-synth";
+  data.num_classes = 3;
+  data.features.reserve(samples);
+  data.labels.reserve(samples);
+
+  for (std::size_t i = 0; i < samples; ++i) {
+    const int label = static_cast<int>(i % 3);
+    const ClassStats& stats = kClasses[static_cast<std::size_t>(label)];
+    std::vector<double> row(4);
+    for (std::size_t j = 0; j < 4; ++j) {
+      row[j] = rng.normal(stats.mean[j], stats.stddev[j]);
+      if (row[j] < 0.0) row[j] = 0.0;
+    }
+    data.features.push_back(std::move(row));
+    data.labels.push_back(label);
+  }
+  return data;
+}
+
+}  // namespace qucad

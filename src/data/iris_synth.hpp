@@ -1,0 +1,15 @@
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.hpp"
+
+namespace qucad {
+
+/// Gaussian resynthesis of the Iris dataset: three classes drawn from the
+/// classic per-class means/standard deviations (sepal length/width, petal
+/// length/width). Setosa stays linearly separable; versicolor/virginica
+/// overlap, matching the difficulty profile of the original data.
+Dataset make_iris(std::size_t samples = 150, std::uint64_t seed = 7);
+
+}  // namespace qucad

@@ -1,0 +1,87 @@
+#include "data/mnist_synth.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "common/require.hpp"
+
+namespace qucad {
+
+namespace {
+
+// 4x4 prototypes for digits 0, 1, 3, 6 (row-major, 0 = background).
+constexpr std::array<std::array<double, 16>, 4> kPrototypes = {{
+    // 0: ring
+    {0.0, 0.9, 0.9, 0.0,
+     0.9, 0.1, 0.1, 0.9,
+     0.9, 0.1, 0.1, 0.9,
+     0.0, 0.9, 0.9, 0.0},
+    // 1: vertical bar
+    {0.0, 0.2, 0.9, 0.0,
+     0.0, 0.8, 0.9, 0.0,
+     0.0, 0.1, 0.9, 0.0,
+     0.0, 0.6, 0.9, 0.6},
+    // 3: double bump, open left
+    {0.8, 0.9, 0.8, 0.2,
+     0.0, 0.2, 0.9, 0.3,
+     0.0, 0.3, 0.9, 0.3,
+     0.8, 0.9, 0.8, 0.2},
+    // 6: loop bottom-heavy, stem top-left
+    {0.1, 0.8, 0.2, 0.0,
+     0.8, 0.2, 0.0, 0.0,
+     0.9, 0.8, 0.9, 0.2,
+     0.7, 0.9, 0.8, 0.1},
+}};
+
+std::array<double, 16> shift_image(const std::array<double, 16>& img, int dx,
+                                   int dy) {
+  std::array<double, 16> out{};
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      const int sr = r - dy;
+      const int sc = c - dx;
+      if (sr >= 0 && sr < 4 && sc >= 0 && sc < 4) {
+        out[static_cast<std::size_t>(r * 4 + c)] =
+            img[static_cast<std::size_t>(sr * 4 + sc)];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Dataset make_mnist4(std::size_t samples, std::uint64_t seed, double pixel_noise) {
+  require(samples > 0, "sample count must be positive");
+  Rng rng(seed);
+  Dataset data;
+  data.name = "mnist4-synmeans";
+  data.num_classes = 4;
+  data.features.reserve(samples);
+  data.labels.reserve(samples);
+
+  for (std::size_t i = 0; i < samples; ++i) {
+    const int label = static_cast<int>(i % 4);  // balanced classes
+    std::array<double, 16> img = kPrototypes[static_cast<std::size_t>(label)];
+
+    // Occasional 1-pixel translation (25% of samples).
+    if (rng.bernoulli(0.25)) {
+      const int dx = rng.integer(-1, 1);
+      const int dy = rng.integer(-1, 1);
+      img = shift_image(img, dx, dy);
+    }
+
+    const double brightness = rng.uniform(0.75, 1.2);
+    std::vector<double> row(16);
+    for (std::size_t p = 0; p < 16; ++p) {
+      const double value =
+          img[p] * brightness + rng.normal(0.0, pixel_noise);
+      row[p] = std::clamp(value, 0.0, 1.0);
+    }
+    data.features.push_back(std::move(row));
+    data.labels.push_back(label);
+  }
+  return data;
+}
+
+}  // namespace qucad

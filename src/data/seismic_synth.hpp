@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.hpp"
+
+namespace qucad {
+
+/// Synthetic earthquake-detection dataset replacing the paper's FDSN pull:
+/// binary classification of 256-sample seismograms (background microseism
+/// noise vs. noise + a P-wave arrival modeled as a decaying band-limited
+/// burst). Four classic detection features are extracted per trace:
+///   0: max STA/LTA ratio (short 8 / long 64 windows)
+///   1: log10 signal energy
+///   2: zero-crossing rate
+///   3: excess kurtosis (impulsiveness)
+Dataset make_seismic(std::size_t samples = 1500, std::uint64_t seed = 11,
+                     double snr_db = 9.0);
+
+/// Raw waveform synthesis (exposed for the example application).
+std::vector<double> synth_waveform(bool has_event, Rng& rng, double snr_db);
+
+/// Feature extraction used by make_seismic (exposed for tests/examples).
+std::vector<double> seismic_features(const std::vector<double>& waveform);
+
+}  // namespace qucad

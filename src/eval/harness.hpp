@@ -1,0 +1,34 @@
+#pragma once
+
+#include <iosfwd>
+
+#include "core/strategy.hpp"
+#include "eval/metrics.hpp"
+
+namespace qucad {
+
+struct HarnessOptions {
+  /// Days between evaluations (1 = every day, matching the paper).
+  int day_stride = 1;
+  bool verbose = false;
+};
+
+/// Runs one strategy over the online calibration window: offline() on the
+/// historical days, then for each online day adapt + evaluate on the test
+/// set under that day's exact noise model.
+MethodResult run_longitudinal(Strategy& strategy, const Environment& env,
+                              const std::vector<Calibration>& offline_history,
+                              const std::vector<Calibration>& online_days,
+                              const HarnessOptions& options = {});
+
+/// Prints the Table-I style comparison (metrics + deltas vs. the first row).
+void print_comparison_table(std::ostream& os,
+                            const std::vector<MethodResult>& results,
+                            const std::string& dataset_name);
+
+/// Prints a date-indexed accuracy series (Fig. 2/4/8/9 style).
+void print_accuracy_series(std::ostream& os, const MethodResult& result,
+                           const std::vector<std::string>& dates,
+                           int stride = 7);
+
+}  // namespace qucad

@@ -1,0 +1,17 @@
+#include "eval/metrics.hpp"
+
+#include "common/stats.hpp"
+
+namespace qucad {
+
+SeriesMetrics summarize_series(std::span<const double> daily_accuracy) {
+  SeriesMetrics m;
+  m.mean_accuracy = mean(daily_accuracy);
+  m.variance = variance(daily_accuracy);
+  m.days_over_08 = static_cast<int>(count_over(daily_accuracy, 0.8));
+  m.days_over_07 = static_cast<int>(count_over(daily_accuracy, 0.7));
+  m.days_over_05 = static_cast<int>(count_over(daily_accuracy, 0.5));
+  return m;
+}
+
+}  // namespace qucad

@@ -1,0 +1,109 @@
+#include "linalg/gates.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace qucad::gates {
+
+namespace {
+constexpr cplx kI{0.0, 1.0};
+const double kInvSqrt2 = 1.0 / std::sqrt(2.0);
+}  // namespace
+
+CMat I() { return CMat(2, 2, {1, 0, 0, 1}); }
+
+CMat X() { return CMat(2, 2, {0, 1, 1, 0}); }
+
+CMat Y() { return CMat(2, 2, {0, -kI, kI, 0}); }
+
+CMat Z() { return CMat(2, 2, {1, 0, 0, -1}); }
+
+CMat H() {
+  return CMat(2, 2, {kInvSqrt2, kInvSqrt2, kInvSqrt2, -kInvSqrt2});
+}
+
+CMat S() { return CMat(2, 2, {1, 0, 0, kI}); }
+
+CMat Sdg() { return CMat(2, 2, {1, 0, 0, -kI}); }
+
+CMat T() { return CMat(2, 2, {1, 0, 0, std::exp(kI * (M_PI / 4.0))}); }
+
+CMat SX() {
+  // 0.5 * [[1+i, 1-i], [1-i, 1+i]]
+  const cplx a{0.5, 0.5};
+  const cplx b{0.5, -0.5};
+  return CMat(2, 2, {a, b, b, a});
+}
+
+CMat SXdg() { return SX().dagger(); }
+
+CMat RX(double theta) {
+  const double c = std::cos(theta / 2.0);
+  const double s = std::sin(theta / 2.0);
+  return CMat(2, 2, {cplx{c, 0}, cplx{0, -s}, cplx{0, -s}, cplx{c, 0}});
+}
+
+CMat RY(double theta) {
+  const double c = std::cos(theta / 2.0);
+  const double s = std::sin(theta / 2.0);
+  return CMat(2, 2, {cplx{c, 0}, cplx{-s, 0}, cplx{s, 0}, cplx{c, 0}});
+}
+
+CMat RZ(double theta) {
+  const cplx em = std::exp(-kI * (theta / 2.0));
+  const cplx ep = std::exp(kI * (theta / 2.0));
+  return CMat(2, 2, {em, 0, 0, ep});
+}
+
+CMat P(double lambda) { return CMat(2, 2, {1, 0, 0, std::exp(kI * lambda)}); }
+
+CMat U3(double theta, double phi, double lambda) {
+  const double c = std::cos(theta / 2.0);
+  const double s = std::sin(theta / 2.0);
+  return CMat(2, 2,
+              {cplx{c, 0}, -std::exp(kI * lambda) * s,
+               std::exp(kI * phi) * s, std::exp(kI * (phi + lambda)) * c});
+}
+
+CMat CX() {
+  return CMat(4, 4,
+              {1, 0, 0, 0,
+               0, 1, 0, 0,
+               0, 0, 0, 1,
+               0, 0, 1, 0});
+}
+
+CMat CZ() {
+  return CMat(4, 4,
+              {1, 0, 0, 0,
+               0, 1, 0, 0,
+               0, 0, 1, 0,
+               0, 0, 0, -1});
+}
+
+CMat SWAP() {
+  return CMat(4, 4,
+              {1, 0, 0, 0,
+               0, 0, 1, 0,
+               0, 1, 0, 0,
+               0, 0, 0, 1});
+}
+
+CMat controlled(const CMat& u) {
+  require(u.rows() == 2 && u.cols() == 2, "controlled() expects a 2x2 unitary");
+  CMat out = CMat::identity(4);
+  out(2, 2) = u(0, 0);
+  out(2, 3) = u(0, 1);
+  out(3, 2) = u(1, 0);
+  out(3, 3) = u(1, 1);
+  return out;
+}
+
+CMat CRX(double theta) { return controlled(RX(theta)); }
+
+CMat CRY(double theta) { return controlled(RY(theta)); }
+
+CMat CRZ(double theta) { return controlled(RZ(theta)); }
+
+}  // namespace qucad::gates

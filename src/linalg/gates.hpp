@@ -1,0 +1,37 @@
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace qucad::gates {
+
+// Fixed single-qubit gates (2x2).
+CMat I();
+CMat X();
+CMat Y();
+CMat Z();
+CMat H();
+CMat S();
+CMat Sdg();
+CMat T();
+CMat SX();   // sqrt(X), the IBM basis pulse gate.
+CMat SXdg();
+
+// Parameterized single-qubit rotations: R_a(theta) = exp(-i theta a / 2).
+CMat RX(double theta);
+CMat RY(double theta);
+CMat RZ(double theta);
+CMat P(double lambda);  // phase gate diag(1, e^{i lambda})
+CMat U3(double theta, double phi, double lambda);
+
+// Two-qubit gates (4x4), control = first (most significant) qubit.
+CMat CX();
+CMat CZ();
+CMat SWAP();
+CMat CRX(double theta);
+CMat CRY(double theta);
+CMat CRZ(double theta);
+
+/// Controlled version of any 2x2 unitary (control = first qubit).
+CMat controlled(const CMat& u);
+
+}  // namespace qucad::gates

@@ -1,0 +1,170 @@
+#include "linalg/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/require.hpp"
+
+namespace qucad {
+
+CMat::CMat(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, cplx{0.0, 0.0}) {}
+
+CMat::CMat(std::size_t rows, std::size_t cols, std::initializer_list<cplx> values)
+    : CMat(rows, cols) {
+  require(values.size() == rows * cols, "CMat initializer size mismatch");
+  std::copy(values.begin(), values.end(), data_.begin());
+}
+
+CMat CMat::identity(std::size_t n) {
+  CMat m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+CMat CMat::zeros(std::size_t rows, std::size_t cols) { return CMat(rows, cols); }
+
+CMat CMat::operator+(const CMat& other) const {
+  require(rows_ == other.rows_ && cols_ == other.cols_, "CMat shape mismatch in +");
+  CMat out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] = data_[i] + other.data_[i];
+  return out;
+}
+
+CMat CMat::operator-(const CMat& other) const {
+  require(rows_ == other.rows_ && cols_ == other.cols_, "CMat shape mismatch in -");
+  CMat out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] = data_[i] - other.data_[i];
+  return out;
+}
+
+CMat CMat::operator*(const CMat& other) const {
+  require(cols_ == other.rows_, "CMat shape mismatch in *");
+  CMat out(rows_, other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const cplx a = (*this)(r, k);
+      if (a == cplx{0.0, 0.0}) continue;
+      for (std::size_t c = 0; c < other.cols_; ++c) {
+        out(r, c) += a * other(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+CMat CMat::operator*(cplx scalar) const {
+  CMat out(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] = data_[i] * scalar;
+  return out;
+}
+
+CMat CMat::dagger() const {
+  CMat out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      out(c, r) = std::conj((*this)(r, c));
+    }
+  }
+  return out;
+}
+
+cplx CMat::trace() const {
+  require(rows_ == cols_, "trace requires a square matrix");
+  cplx t{0.0, 0.0};
+  for (std::size_t i = 0; i < rows_; ++i) t += (*this)(i, i);
+  return t;
+}
+
+double CMat::frobenius_norm() const {
+  double acc = 0.0;
+  for (const cplx& x : data_) acc += std::norm(x);
+  return std::sqrt(acc);
+}
+
+double CMat::max_abs_diff(const CMat& other) const {
+  require(rows_ == other.rows_ && cols_ == other.cols_,
+          "CMat shape mismatch in max_abs_diff");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    worst = std::max(worst, std::abs(data_[i] - other.data_[i]));
+  }
+  return worst;
+}
+
+bool CMat::is_unitary(double tol) const {
+  if (rows_ != cols_) return false;
+  const CMat product = (*this) * dagger();
+  return product.max_abs_diff(identity(rows_)) < tol;
+}
+
+bool CMat::is_hermitian(double tol) const {
+  if (rows_ != cols_) return false;
+  return max_abs_diff(dagger()) < tol;
+}
+
+std::vector<cplx> CMat::apply(const std::vector<cplx>& v) const {
+  require(v.size() == cols_, "CMat::apply dimension mismatch");
+  std::vector<cplx> out(rows_, cplx{0.0, 0.0});
+  for (std::size_t r = 0; r < rows_; ++r) {
+    cplx acc{0.0, 0.0};
+    for (std::size_t c = 0; c < cols_; ++c) acc += (*this)(r, c) * v[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+std::string CMat::to_string(int precision) const {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(precision);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    out << "[";
+    for (std::size_t c = 0; c < cols_; ++c) {
+      const cplx& x = (*this)(r, c);
+      out << " (" << x.real() << (x.imag() >= 0 ? "+" : "") << x.imag() << "i)";
+    }
+    out << " ]\n";
+  }
+  return out.str();
+}
+
+CMat kron(const CMat& a, const CMat& b) {
+  CMat out(a.rows() * b.rows(), a.cols() * b.cols());
+  for (std::size_t ar = 0; ar < a.rows(); ++ar) {
+    for (std::size_t ac = 0; ac < a.cols(); ++ac) {
+      const cplx scale = a(ar, ac);
+      if (scale == cplx{0.0, 0.0}) continue;
+      for (std::size_t br = 0; br < b.rows(); ++br) {
+        for (std::size_t bc = 0; bc < b.cols(); ++bc) {
+          out(ar * b.rows() + br, ac * b.cols() + bc) = scale * b(br, bc);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+cplx inner(const std::vector<cplx>& a, const std::vector<cplx>& b) {
+  require(a.size() == b.size(), "inner product dimension mismatch");
+  cplx acc{0.0, 0.0};
+  for (std::size_t i = 0; i < a.size(); ++i) acc += std::conj(a[i]) * b[i];
+  return acc;
+}
+
+double norm(const std::vector<cplx>& v) {
+  double acc = 0.0;
+  for (const cplx& x : v) acc += std::norm(x);
+  return std::sqrt(acc);
+}
+
+bool equal_up_to_global_phase(const std::vector<cplx>& a,
+                              const std::vector<cplx>& b, double tol) {
+  if (a.size() != b.size()) return false;
+  // |<a|b>| == ||a||*||b|| iff the vectors are parallel.
+  const double overlap = std::abs(inner(a, b));
+  return std::abs(overlap - norm(a) * norm(b)) < tol;
+}
+
+}  // namespace qucad

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace qucad {
+
+using cplx = std::complex<double>;
+
+/// Dense complex matrix, row-major. Sized for quantum operators on a handful
+/// of qubits (2x2 .. 128x128); favors clarity and correctness over BLAS-level
+/// tuning — the hot loops in the simulators use specialized kernels instead.
+class CMat {
+ public:
+  CMat() = default;
+  CMat(std::size_t rows, std::size_t cols);
+  CMat(std::size_t rows, std::size_t cols, std::initializer_list<cplx> values);
+
+  static CMat identity(std::size_t n);
+  static CMat zeros(std::size_t rows, std::size_t cols);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  cplx& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  const cplx& operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  const std::vector<cplx>& data() const { return data_; }
+  std::vector<cplx>& data() { return data_; }
+
+  CMat operator+(const CMat& other) const;
+  CMat operator-(const CMat& other) const;
+  CMat operator*(const CMat& other) const;
+  CMat operator*(cplx scalar) const;
+
+  /// Conjugate transpose.
+  CMat dagger() const;
+
+  cplx trace() const;
+  double frobenius_norm() const;
+
+  /// Max |a_ij - b_ij|.
+  double max_abs_diff(const CMat& other) const;
+
+  bool is_unitary(double tol = 1e-10) const;
+  bool is_hermitian(double tol = 1e-10) const;
+
+  /// Apply to a column vector.
+  std::vector<cplx> apply(const std::vector<cplx>& v) const;
+
+  std::string to_string(int precision = 4) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<cplx> data_;
+};
+
+/// Kronecker (tensor) product a (x) b.
+CMat kron(const CMat& a, const CMat& b);
+
+/// Inner product <a|b> with conjugation on a.
+cplx inner(const std::vector<cplx>& a, const std::vector<cplx>& b);
+
+/// Euclidean norm of a complex vector.
+double norm(const std::vector<cplx>& v);
+
+/// True when two state vectors agree up to a global phase.
+bool equal_up_to_global_phase(const std::vector<cplx>& a,
+                              const std::vector<cplx>& b, double tol = 1e-9);
+
+}  // namespace qucad

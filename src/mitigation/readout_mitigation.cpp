@@ -1,0 +1,71 @@
+#include "mitigation/readout_mitigation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace qucad {
+
+ReadoutMitigator::ReadoutMitigator(std::span<const ReadoutError> errors) {
+  inverse_.reserve(errors.size());
+  for (const ReadoutError& e : errors) {
+    // M = [[1-p10, p01], [p10, 1-p01]] maps true -> measured probabilities
+    // (columns are true states).
+    const double a = 1.0 - e.p1_given_0;  // P(read 0 | true 0)
+    const double b = e.p0_given_1;        // P(read 0 | true 1)
+    const double c = e.p1_given_0;        // P(read 1 | true 0)
+    const double d = 1.0 - e.p0_given_1;  // P(read 1 | true 1)
+    const double det = a * d - b * c;
+    require(std::abs(det) > 1e-9, "readout confusion matrix is singular");
+    inverse_.push_back({d / det, -b / det, -c / det, a / det});
+  }
+}
+
+std::vector<double> ReadoutMitigator::apply(std::vector<double> probs) const {
+  const std::size_t dim = probs.size();
+  require(dim == (std::size_t{1} << inverse_.size()),
+          "probability vector size mismatch");
+  std::vector<double> next(dim);
+  for (std::size_t q = 0; q < inverse_.size(); ++q) {
+    const auto& inv = inverse_[q];
+    if (inv[0] == 1.0 && inv[1] == 0.0 && inv[2] == 0.0 && inv[3] == 1.0) {
+      continue;
+    }
+    const std::size_t mq = std::size_t{1} << q;
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t i = 0; i < dim; ++i) {
+      const std::size_t i0 = i & ~mq;
+      const std::size_t i1 = i | mq;
+      if (i & mq) continue;
+      const double p0 = probs[i0];
+      const double p1 = probs[i1];
+      next[i0] = inv[0] * p0 + inv[1] * p1;
+      next[i1] = inv[2] * p0 + inv[3] * p1;
+    }
+    probs.swap(next);
+  }
+  // Clip quasi-probabilities back onto the simplex.
+  double total = 0.0;
+  for (double& p : probs) {
+    p = std::max(p, 0.0);
+    total += p;
+  }
+  if (total > 0.0) {
+    for (double& p : probs) p /= total;
+  }
+  return probs;
+}
+
+double ReadoutMitigator::mitigated_expectation_z(const std::vector<double>& probs,
+                                                 int q) const {
+  const std::vector<double> mitigated = apply(probs);
+  const std::size_t mq = std::size_t{1} << q;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < mitigated.size(); ++i) {
+    acc += (i & mq) ? -mitigated[i] : mitigated[i];
+  }
+  return acc;
+}
+
+}  // namespace qucad

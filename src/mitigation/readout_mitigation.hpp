@@ -1,0 +1,34 @@
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "noise/calibration.hpp"
+
+namespace qucad {
+
+/// Classical readout-error mitigation (the post-processing family of
+/// related work [18]): inverts the per-qubit assignment confusion matrix
+///   M = [[1-p10, p01], [p10, 1-p01]]
+/// and applies M^-1 to measured probabilities. Exact when the confusion is
+/// uncorrelated across qubits (our noise model's assumption); quasi-
+/// probabilities are clipped to the simplex afterwards.
+class ReadoutMitigator {
+ public:
+  explicit ReadoutMitigator(std::span<const ReadoutError> errors);
+
+  /// Mitigates a 2^n basis-probability vector in place and returns it.
+  std::vector<double> apply(std::vector<double> probs) const;
+
+  /// Mitigated <Z_q>.
+  double mitigated_expectation_z(const std::vector<double>& probs, int q) const;
+
+  int num_qubits() const { return static_cast<int>(inverse_.size()); }
+
+ private:
+  // Per-qubit inverse confusion matrix, row-major 2x2.
+  std::vector<std::array<double, 4>> inverse_;
+};
+
+}  // namespace qucad

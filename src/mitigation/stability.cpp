@@ -1,0 +1,40 @@
+#include "mitigation/stability.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace qucad {
+
+double hellinger_distance(std::span<const double> p, std::span<const double> q) {
+  require(p.size() == q.size() && !p.empty(),
+          "distributions must be equal-length and non-empty");
+  double bc = 0.0;  // Bhattacharyya coefficient
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    bc += std::sqrt(std::max(p[i], 0.0) * std::max(q[i], 0.0));
+  }
+  return std::sqrt(std::max(0.0, 1.0 - std::min(bc, 1.0)));
+}
+
+double computational_accuracy(std::span<const double> ideal,
+                              std::span<const double> noisy) {
+  const double h = hellinger_distance(ideal, noisy);
+  return 1.0 - h * h;
+}
+
+double reproducibility_spread(const std::vector<std::vector<double>>& daily) {
+  require(!daily.empty(), "need at least one distribution");
+  const std::size_t dim = daily.front().size();
+  std::vector<double> mean_dist(dim, 0.0);
+  for (const auto& day : daily) {
+    require(day.size() == dim, "distribution size mismatch");
+    for (std::size_t i = 0; i < dim; ++i) mean_dist[i] += day[i];
+  }
+  for (double& v : mean_dist) v /= static_cast<double>(daily.size());
+
+  double total = 0.0;
+  for (const auto& day : daily) total += hellinger_distance(mean_dist, day);
+  return total / static_cast<double>(daily.size());
+}
+
+}  // namespace qucad

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace qucad {
+
+/// Stability / reproducibility metrics of refs [20-22]: quantify how far a
+/// noisy device's output distribution sits from the ideal one and how
+/// reproducible it is across days. QuCAD's premise — results drift beyond
+/// usable bounds — is exactly what these metrics measure.
+
+/// Hellinger distance between two probability distributions, in [0, 1].
+double hellinger_distance(std::span<const double> p, std::span<const double> q);
+
+/// Computational accuracy of [21]: 1 - H^2 (1 = ideal reproduction).
+double computational_accuracy(std::span<const double> ideal,
+                              std::span<const double> noisy);
+
+/// Reproducibility across a series of daily distributions: mean pairwise
+/// Hellinger distance to the series' elementwise-mean distribution
+/// (0 = every day identical).
+double reproducibility_spread(const std::vector<std::vector<double>>& daily);
+
+}  // namespace qucad

@@ -1,0 +1,136 @@
+#include "noise/calibration.hpp"
+
+#include "common/require.hpp"
+
+namespace qucad {
+
+Calibration::Calibration(int num_qubits, std::vector<std::pair<int, int>> edges)
+    : num_qubits_(num_qubits),
+      edges_(std::move(edges)),
+      sx_error_(static_cast<std::size_t>(num_qubits), 0.0),
+      readout_(static_cast<std::size_t>(num_qubits)),
+      t1_us_(static_cast<std::size_t>(num_qubits), 100.0),
+      t2_us_(static_cast<std::size_t>(num_qubits), 80.0),
+      cx_error_(edges_.size(), 0.0) {
+  require(num_qubits > 0, "calibration requires at least one qubit");
+  for (auto& [a, b] : edges_) {
+    require(a >= 0 && a < num_qubits && b >= 0 && b < num_qubits && a != b,
+            "invalid edge in coupling list");
+    if (a > b) std::swap(a, b);
+  }
+}
+
+double Calibration::sx_error(int q) const {
+  require(q >= 0 && q < num_qubits_, "qubit out of range");
+  return sx_error_[static_cast<std::size_t>(q)];
+}
+
+void Calibration::set_sx_error(int q, double e) {
+  require(q >= 0 && q < num_qubits_, "qubit out of range");
+  require(e >= 0.0 && e < 1.0, "error rate out of range");
+  sx_error_[static_cast<std::size_t>(q)] = e;
+}
+
+const ReadoutError& Calibration::readout(int q) const {
+  require(q >= 0 && q < num_qubits_, "qubit out of range");
+  return readout_[static_cast<std::size_t>(q)];
+}
+
+void Calibration::set_readout(int q, ReadoutError e) {
+  require(q >= 0 && q < num_qubits_, "qubit out of range");
+  require(e.p1_given_0 >= 0.0 && e.p1_given_0 <= 0.5 && e.p0_given_1 >= 0.0 &&
+              e.p0_given_1 <= 0.5,
+          "readout error out of range");
+  readout_[static_cast<std::size_t>(q)] = e;
+}
+
+double Calibration::t1_us(int q) const {
+  require(q >= 0 && q < num_qubits_, "qubit out of range");
+  return t1_us_[static_cast<std::size_t>(q)];
+}
+
+double Calibration::t2_us(int q) const {
+  require(q >= 0 && q < num_qubits_, "qubit out of range");
+  return t2_us_[static_cast<std::size_t>(q)];
+}
+
+void Calibration::set_t1_t2(int q, double t1, double t2) {
+  require(q >= 0 && q < num_qubits_, "qubit out of range");
+  require(t1 > 0.0 && t2 > 0.0 && t2 <= 2.0 * t1,
+          "requires 0 < T2 <= 2*T1");
+  t1_us_[static_cast<std::size_t>(q)] = t1;
+  t2_us_[static_cast<std::size_t>(q)] = t2;
+}
+
+int Calibration::edge_index(int a, int b) const {
+  if (a > b) std::swap(a, b);
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    if (edges_[i].first == a && edges_[i].second == b) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+double Calibration::cx_error(int a, int b) const {
+  const int idx = edge_index(a, b);
+  require(idx >= 0, "qubit pair is not coupled");
+  return cx_error_[static_cast<std::size_t>(idx)];
+}
+
+void Calibration::set_cx_error(int a, int b, double e) {
+  const int idx = edge_index(a, b);
+  require(idx >= 0, "qubit pair is not coupled");
+  require(e >= 0.0 && e < 1.0, "error rate out of range");
+  cx_error_[static_cast<std::size_t>(idx)] = e;
+}
+
+double Calibration::noise_of(int q0, int q1) const {
+  if (q1 < 0) return sx_error(q0);
+  return cx_error(q0, q1);
+}
+
+std::vector<double> Calibration::feature_vector() const {
+  std::vector<double> f;
+  f.reserve(feature_dim());
+  for (double e : sx_error_) f.push_back(e);
+  for (const ReadoutError& r : readout_) f.push_back(r.mean());
+  for (double e : cx_error_) f.push_back(e);
+  return f;
+}
+
+std::vector<std::string> Calibration::feature_names() const {
+  std::vector<std::string> names;
+  names.reserve(feature_dim());
+  for (int q = 0; q < num_qubits_; ++q) names.push_back("sx" + std::to_string(q));
+  for (int q = 0; q < num_qubits_; ++q) names.push_back("ro" + std::to_string(q));
+  for (const auto& [a, b] : edges_) {
+    names.push_back("cx" + std::to_string(a) + "_" + std::to_string(b));
+  }
+  return names;
+}
+
+std::size_t Calibration::feature_dim() const {
+  return 2 * static_cast<std::size_t>(num_qubits_) + edges_.size();
+}
+
+Calibration Calibration::from_features(int num_qubits,
+                                       std::vector<std::pair<int, int>> edges,
+                                       const std::vector<double>& features,
+                                       double t1_us, double t2_us) {
+  Calibration c(num_qubits, std::move(edges));
+  require(features.size() == c.feature_dim(), "feature vector size mismatch");
+  const std::size_t nq = static_cast<std::size_t>(num_qubits);
+  auto clamp_rate = [](double v) { return v < 0.0 ? 0.0 : (v > 0.45 ? 0.45 : v); };
+  for (std::size_t q = 0; q < nq; ++q) {
+    c.sx_error_[q] = clamp_rate(features[q]);
+    const double ro = clamp_rate(features[nq + q]);
+    c.readout_[q] = ReadoutError{ro, ro};
+    c.t1_us_[q] = t1_us;
+    c.t2_us_[q] = t2_us;
+  }
+  for (std::size_t e = 0; e < c.edges_.size(); ++e) {
+    c.cx_error_[e] = clamp_rate(features[2 * nq + e]);
+  }
+  return c;
+}
+
+}  // namespace qucad

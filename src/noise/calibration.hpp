@@ -1,0 +1,76 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace qucad {
+
+/// Readout assignment error of one qubit.
+struct ReadoutError {
+  double p1_given_0 = 0.0;  // probability of reading 1 when prepared in |0>
+  double p0_given_1 = 0.0;  // probability of reading 0 when prepared in |1>
+
+  double mean() const { return 0.5 * (p1_given_0 + p0_given_1); }
+};
+
+/// One day's device calibration snapshot: the same quantities IBM publishes
+/// for its backends (single-qubit gate error, CNOT error per coupled pair,
+/// readout assignment error, T1/T2).
+class Calibration {
+ public:
+  Calibration() = default;
+  Calibration(int num_qubits, std::vector<std::pair<int, int>> edges);
+
+  int num_qubits() const { return num_qubits_; }
+  const std::vector<std::pair<int, int>>& edges() const { return edges_; }
+
+  double sx_error(int q) const;
+  void set_sx_error(int q, double e);
+
+  const ReadoutError& readout(int q) const;
+  void set_readout(int q, ReadoutError e);
+
+  double t1_us(int q) const;
+  double t2_us(int q) const;
+  void set_t1_t2(int q, double t1, double t2);
+
+  /// CNOT error of the coupled pair {a,b} (order-insensitive).
+  double cx_error(int a, int b) const;
+  void set_cx_error(int a, int b, double e);
+
+  /// Index of edge {a,b} in edges(); -1 if not coupled.
+  int edge_index(int a, int b) const;
+
+  /// Noise rate associated with a gate's qubits: cx_error for pairs,
+  /// sx_error for single qubits. This is the C(A(g)) lookup of the paper's
+  /// priority table.
+  double noise_of(int q0, int q1 = -1) const;
+
+  /// Flat feature vector for clustering: [sx_0..sx_{n-1},
+  /// readout_mean_0..readout_mean_{n-1}, cx_0..cx_{m-1}].
+  std::vector<double> feature_vector() const;
+
+  /// Human-readable names matching feature_vector entries.
+  std::vector<std::string> feature_names() const;
+
+  std::size_t feature_dim() const;
+
+  /// Inverse of feature_vector: rebuilds a calibration from clustered
+  /// features (T1/T2 must be supplied since they are not clustered).
+  static Calibration from_features(int num_qubits,
+                                   std::vector<std::pair<int, int>> edges,
+                                   const std::vector<double>& features,
+                                   double t1_us, double t2_us);
+
+ private:
+  int num_qubits_ = 0;
+  std::vector<std::pair<int, int>> edges_;
+  std::vector<double> sx_error_;
+  std::vector<ReadoutError> readout_;
+  std::vector<double> t1_us_;
+  std::vector<double> t2_us_;
+  std::vector<double> cx_error_;
+};
+
+}  // namespace qucad

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "noise/calibration.hpp"
+
+namespace qucad {
+
+/// A bounded period during which one noise source is elevated. The
+/// multiplier ramps in and out smoothly (raised cosine) so calibration
+/// trajectories look like the drifting episodes observed on real backends
+/// rather than step functions.
+struct SpikeEpisode {
+  enum class Target { Edge, Qubit, Readout, Global };
+  int start_day = 0;
+  int end_day = 0;  // exclusive
+  Target target = Target::Global;
+  int index = 0;  // edge index or qubit index; ignored for Global
+  double multiplier = 1.0;
+};
+
+/// Statistical description of a device's noise fluctuation over time:
+/// per-parameter baselines, log-space Ornstein-Uhlenbeck daily dynamics,
+/// and scheduled heterogeneous spike episodes.
+///
+/// The presets reproduce the phenomenology the paper reports for IBM belem
+/// (Fig. 1/2/4): error rates fluctuating across a wide band, occasional
+/// device-wide surges that collapse QNN accuracy, and *per-edge* episodes
+/// where different CNOT pairs dominate at different times.
+struct FluctuationScenario {
+  int num_qubits = 0;
+  std::vector<std::pair<int, int>> edges;
+  std::vector<double> sx_base;
+  std::vector<double> cx_base;
+  std::vector<double> ro_base;
+  double t1_base_us = 110.0;
+  double t2_base_us = 90.0;
+  double ou_reversion = 0.12;  // daily mean-reversion rate (log space)
+  double ou_sigma = 0.10;      // daily log-volatility
+  double t_sigma = 0.03;       // daily T1/T2 log-volatility
+  std::vector<SpikeEpisode> episodes;
+
+  /// 5-qubit T-topology device modeled after ibmq_belem.
+  static FluctuationScenario belem();
+
+  /// 7-qubit H-topology device modeled after ibmq_jakarta.
+  static FluctuationScenario jakarta();
+};
+
+/// Deterministic daily calibration history generated from a scenario.
+/// The paper's timeline: day 0 = Aug 10 2021; days [0, 243) are the offline
+/// optimization window, days [243, 389) the 146-day online test window.
+class CalibrationHistory {
+ public:
+  CalibrationHistory(const FluctuationScenario& scenario, int days,
+                     std::uint64_t seed);
+
+  static constexpr int kOfflineDays = 243;
+  static constexpr int kOnlineDays = 146;
+  static constexpr int kTotalDays = kOfflineDays + kOnlineDays;
+
+  int days() const { return static_cast<int>(history_.size()); }
+  const Calibration& day(int d) const;
+
+  /// Calendar date of a day index, anchored at 2021-08-10, as MM/DD/YY.
+  std::string date_string(int d) const;
+
+  /// Copies days [begin, begin+count).
+  std::vector<Calibration> slice(int begin, int count) const;
+
+  const std::vector<Calibration>& all() const { return history_; }
+
+ private:
+  std::vector<Calibration> history_;
+};
+
+}  // namespace qucad

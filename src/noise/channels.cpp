@@ -1,0 +1,256 @@
+#include "noise/channels.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "linalg/gates.hpp"
+
+namespace qucad {
+
+namespace {
+
+std::array<cplx, 4> scaled2(const CMat& m, double s) {
+  return {s * m(0, 0), s * m(0, 1), s * m(1, 0), s * m(1, 1)};
+}
+
+std::array<cplx, 4> mul2(const std::array<cplx, 4>& a, const std::array<cplx, 4>& b) {
+  // (a*b) row-major 2x2
+  return {a[0] * b[0] + a[1] * b[2], a[0] * b[1] + a[1] * b[3],
+          a[2] * b[0] + a[3] * b[2], a[2] * b[1] + a[3] * b[3]};
+}
+
+std::array<cplx, 16> mul4(const std::array<cplx, 16>& a,
+                          const std::array<cplx, 16>& b) {
+  std::array<cplx, 16> out{};
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t k = 0; k < 4; ++k) {
+      const cplx v = a[r * 4 + k];
+      if (v == cplx{0.0, 0.0}) continue;
+      for (std::size_t c = 0; c < 4; ++c) out[r * 4 + c] += v * b[k * 4 + c];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool Kraus1::is_cptp(double tol) const {
+  std::array<cplx, 4> sum{};
+  for (const auto& k : ops) {
+    // K^dag K
+    sum[0] += std::conj(k[0]) * k[0] + std::conj(k[2]) * k[2];
+    sum[1] += std::conj(k[0]) * k[1] + std::conj(k[2]) * k[3];
+    sum[2] += std::conj(k[1]) * k[0] + std::conj(k[3]) * k[2];
+    sum[3] += std::conj(k[1]) * k[1] + std::conj(k[3]) * k[3];
+  }
+  return std::abs(sum[0] - 1.0) < tol && std::abs(sum[1]) < tol &&
+         std::abs(sum[2]) < tol && std::abs(sum[3] - 1.0) < tol;
+}
+
+bool Kraus2::is_cptp(double tol) const {
+  std::array<cplx, 16> sum{};
+  for (const auto& k : ops) {
+    for (std::size_t r = 0; r < 4; ++r) {
+      for (std::size_t c = 0; c < 4; ++c) {
+        cplx acc{0.0, 0.0};
+        for (std::size_t m = 0; m < 4; ++m) {
+          acc += std::conj(k[m * 4 + r]) * k[m * 4 + c];
+        }
+        sum[r * 4 + c] += acc;
+      }
+    }
+  }
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      const cplx expected = r == c ? cplx{1.0, 0.0} : cplx{0.0, 0.0};
+      if (std::abs(sum[r * 4 + c] - expected) >= tol) return false;
+    }
+  }
+  return true;
+}
+
+namespace channels {
+
+Kraus1 depolarizing1(double p) {
+  require(p >= 0.0 && p <= 1.0, "depolarizing probability out of range");
+  if (p == 0.0) return identity1();
+  Kraus1 ch;
+  ch.ops.push_back(scaled2(gates::I(), std::sqrt(1.0 - 0.75 * p)));
+  const double s = std::sqrt(0.25 * p);
+  ch.ops.push_back(scaled2(gates::X(), s));
+  ch.ops.push_back(scaled2(gates::Y(), s));
+  ch.ops.push_back(scaled2(gates::Z(), s));
+  return ch;
+}
+
+Kraus2 depolarizing2(double p) {
+  require(p >= 0.0 && p <= 1.0, "depolarizing probability out of range");
+  if (p == 0.0) return identity2();
+  Kraus2 ch;
+  const CMat paulis[4] = {gates::I(), gates::X(), gates::Y(), gates::Z()};
+  const double s_id = std::sqrt(1.0 - 15.0 * p / 16.0);
+  const double s = std::sqrt(p / 16.0);
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) {
+      const double scale = (a == 0 && b == 0) ? s_id : s;
+      const CMat m = kron(paulis[a], paulis[b]) * cplx{scale, 0.0};
+      std::array<cplx, 16> op;
+      for (std::size_t r = 0; r < 4; ++r) {
+        for (std::size_t c = 0; c < 4; ++c) op[r * 4 + c] = m(r, c);
+      }
+      ch.ops.push_back(op);
+    }
+  }
+  return ch;
+}
+
+Kraus1 bit_flip(double p) {
+  require(p >= 0.0 && p <= 1.0, "bit flip probability out of range");
+  Kraus1 ch;
+  ch.ops.push_back(scaled2(gates::I(), std::sqrt(1.0 - p)));
+  if (p > 0.0) ch.ops.push_back(scaled2(gates::X(), std::sqrt(p)));
+  return ch;
+}
+
+Kraus1 phase_flip(double p) {
+  require(p >= 0.0 && p <= 1.0, "phase flip probability out of range");
+  Kraus1 ch;
+  ch.ops.push_back(scaled2(gates::I(), std::sqrt(1.0 - p)));
+  if (p > 0.0) ch.ops.push_back(scaled2(gates::Z(), std::sqrt(p)));
+  return ch;
+}
+
+Kraus1 amplitude_damping(double gamma) {
+  require(gamma >= 0.0 && gamma <= 1.0, "damping probability out of range");
+  Kraus1 ch;
+  ch.ops.push_back({cplx{1.0, 0.0}, 0.0, 0.0, cplx{std::sqrt(1.0 - gamma), 0.0}});
+  if (gamma > 0.0) {
+    ch.ops.push_back({0.0, cplx{std::sqrt(gamma), 0.0}, 0.0, 0.0});
+  }
+  return ch;
+}
+
+Kraus1 phase_damping(double lambda) {
+  require(lambda >= 0.0 && lambda <= 1.0, "dephasing probability out of range");
+  Kraus1 ch;
+  ch.ops.push_back({cplx{1.0, 0.0}, 0.0, 0.0, cplx{std::sqrt(1.0 - lambda), 0.0}});
+  if (lambda > 0.0) {
+    ch.ops.push_back({0.0, 0.0, 0.0, cplx{std::sqrt(lambda), 0.0}});
+  }
+  return ch;
+}
+
+Kraus1 thermal_relaxation(double t1_us, double t2_us, double duration_us) {
+  require(t1_us > 0.0 && t2_us > 0.0 && t2_us <= 2.0 * t1_us,
+          "thermal relaxation requires 0 < T2 <= 2*T1");
+  require(duration_us >= 0.0, "duration must be non-negative");
+  if (duration_us == 0.0) return identity1();
+  const double gamma = 1.0 - std::exp(-duration_us / t1_us);
+  // Total coherence decay must equal exp(-t/T2); amplitude damping alone
+  // contributes exp(-t/(2*T1)).
+  const double residual = std::exp(-2.0 * duration_us / t2_us + duration_us / t1_us);
+  const double lambda = std::max(0.0, 1.0 - residual);
+  return compose(amplitude_damping(gamma), phase_damping(lambda));
+}
+
+namespace {
+
+template <typename Op>
+bool all_zero(const Op& op) {
+  for (const cplx& v : op) {
+    if (std::abs(v) > 1e-14) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Kraus1 compose(const Kraus1& first, const Kraus1& second) {
+  Kraus1 out;
+  out.ops.reserve(first.ops.size() * second.ops.size());
+  for (const auto& s : second.ops) {
+    for (const auto& f : first.ops) {
+      auto op = mul2(s, f);  // second applied after first
+      if (!all_zero(op)) out.ops.push_back(op);
+    }
+  }
+  return out;
+}
+
+Kraus2 compose(const Kraus2& first, const Kraus2& second) {
+  Kraus2 out;
+  out.ops.reserve(first.ops.size() * second.ops.size());
+  for (const auto& s : second.ops) {
+    for (const auto& f : first.ops) {
+      auto op = mul4(s, f);
+      if (!all_zero(op)) out.ops.push_back(op);
+    }
+  }
+  return out;
+}
+
+Kraus2 tensor(const Kraus1& a, const Kraus1& b) {
+  Kraus2 out;
+  out.ops.reserve(a.ops.size() * b.ops.size());
+  for (const auto& ka : a.ops) {
+    for (const auto& kb : b.ops) {
+      std::array<cplx, 16> op{};
+      for (std::size_t ra = 0; ra < 2; ++ra) {
+        for (std::size_t ca = 0; ca < 2; ++ca) {
+          for (std::size_t rb = 0; rb < 2; ++rb) {
+            for (std::size_t cb = 0; cb < 2; ++cb) {
+              op[(ra * 2 + rb) * 4 + (ca * 2 + cb)] =
+                  ka[ra * 2 + ca] * kb[rb * 2 + cb];
+            }
+          }
+        }
+      }
+      out.ops.push_back(op);
+    }
+  }
+  return out;
+}
+
+Kraus1 identity1() {
+  Kraus1 ch;
+  ch.ops.push_back({cplx{1.0, 0.0}, 0.0, 0.0, cplx{1.0, 0.0}});
+  return ch;
+}
+
+Kraus2 identity2() {
+  Kraus2 ch;
+  std::array<cplx, 16> op{};
+  for (std::size_t i = 0; i < 4; ++i) op[i * 4 + i] = 1.0;
+  ch.ops.push_back(op);
+  return ch;
+}
+
+}  // namespace channels
+
+std::vector<double> apply_readout_error(std::vector<double> probs,
+                                        std::span<const ReadoutError> errors) {
+  const std::size_t dim = probs.size();
+  std::vector<double> next(dim);
+  for (std::size_t q = 0; q < errors.size(); ++q) {
+    const ReadoutError& e = errors[q];
+    if (e.p1_given_0 == 0.0 && e.p0_given_1 == 0.0) continue;
+    const std::size_t mq = std::size_t{1} << q;
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t i = 0; i < dim; ++i) {
+      const double p = probs[i];
+      if (p == 0.0) continue;
+      if (i & mq) {
+        // true outcome 1: read 1 w.p. 1-p0|1, read 0 w.p. p0|1
+        next[i] += p * (1.0 - e.p0_given_1);
+        next[i & ~mq] += p * e.p0_given_1;
+      } else {
+        next[i] += p * (1.0 - e.p1_given_0);
+        next[i | mq] += p * e.p1_given_0;
+      }
+    }
+    probs.swap(next);
+  }
+  return probs;
+}
+
+}  // namespace qucad

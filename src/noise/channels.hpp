@@ -1,0 +1,72 @@
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "noise/calibration.hpp"
+
+namespace qucad {
+
+/// Single-qubit Kraus channel (2x2 operators, row-major).
+struct Kraus1 {
+  std::vector<std::array<cplx, 4>> ops;
+
+  bool empty() const { return ops.empty(); }
+  /// True when sum_k K^dag K == I within tol (trace preservation).
+  bool is_cptp(double tol = 1e-9) const;
+};
+
+/// Two-qubit Kraus channel (4x4 operators, row-major).
+struct Kraus2 {
+  std::vector<std::array<cplx, 16>> ops;
+
+  bool empty() const { return ops.empty(); }
+  bool is_cptp(double tol = 1e-9) const;
+};
+
+namespace channels {
+
+/// Depolarizing channel (Qiskit convention):
+/// E(rho) = (1-p) rho + p I/2; Kraus {sqrt(1-3p/4) I, sqrt(p/4) X/Y/Z}.
+Kraus1 depolarizing1(double p);
+
+/// Two-qubit depolarizing: E(rho) = (1-p) rho + p I/4.
+Kraus2 depolarizing2(double p);
+
+Kraus1 bit_flip(double p);
+Kraus1 phase_flip(double p);
+
+/// Amplitude damping with decay probability gamma.
+Kraus1 amplitude_damping(double gamma);
+
+/// Phase damping with dephasing probability lambda.
+Kraus1 phase_damping(double lambda);
+
+/// Thermal relaxation over `duration_us` given T1/T2 (T2 <= 2*T1):
+/// amplitude damping with gamma = 1-exp(-t/T1) composed with the phase
+/// damping that brings total coherence decay to exp(-t/T2).
+Kraus1 thermal_relaxation(double t1_us, double t2_us, double duration_us);
+
+/// Sequential composition: apply `first`, then `second`.
+Kraus1 compose(const Kraus1& first, const Kraus1& second);
+Kraus2 compose(const Kraus2& first, const Kraus2& second);
+
+/// Tensor product acting on an ordered qubit pair: `a` on the pair's first
+/// qubit, `b` on its second (matches the apply2 index convention).
+Kraus2 tensor(const Kraus1& a, const Kraus1& b);
+
+/// Identity channels.
+Kraus1 identity1();
+Kraus2 identity2();
+
+}  // namespace channels
+
+/// Applies per-qubit classical readout confusion to a basis-probability
+/// vector of 2^n entries; qubit q uses errors[q]. Entries with
+/// ReadoutError{} are unaffected.
+std::vector<double> apply_readout_error(std::vector<double> probs,
+                                        std::span<const ReadoutError> errors);
+
+}  // namespace qucad

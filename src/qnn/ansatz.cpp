@@ -1,0 +1,61 @@
+#include "qnn/ansatz.hpp"
+
+#include "common/require.hpp"
+
+namespace qucad {
+
+namespace {
+
+enum class Layer { RY, CRY, RX, CRX, RZ, CRZ };
+
+void append_layer(Circuit& circuit, Layer layer, int& param_counter) {
+  const int n = circuit.num_qubits();
+  for (int q = 0; q < n; ++q) {
+    const ParamRef p = trainable(param_counter++);
+    const int next = (q + 1) % n;
+    switch (layer) {
+      case Layer::RY:
+        circuit.ry(q, p);
+        break;
+      case Layer::RX:
+        circuit.rx(q, p);
+        break;
+      case Layer::RZ:
+        circuit.rz(q, p);
+        break;
+      case Layer::CRY:
+        circuit.cry(q, next, p);
+        break;
+      case Layer::CRX:
+        circuit.crx(q, next, p);
+        break;
+      case Layer::CRZ:
+        circuit.crz(q, next, p);
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+void append_paper_block(Circuit& circuit, int& param_counter) {
+  require(circuit.num_qubits() >= 2, "ansatz block needs at least 2 qubits");
+  const Layer sequence[] = {Layer::RY, Layer::CRY, Layer::RY,
+                            Layer::RX, Layer::CRX, Layer::RX,
+                            Layer::RZ, Layer::CRZ, Layer::RZ, Layer::CRZ};
+  for (Layer layer : sequence) append_layer(circuit, layer, param_counter);
+}
+
+Circuit build_paper_ansatz(int num_qubits, int repeats) {
+  require(repeats > 0, "ansatz needs at least one block");
+  Circuit circuit(num_qubits);
+  int counter = 0;
+  for (int r = 0; r < repeats; ++r) append_paper_block(circuit, counter);
+  return circuit;
+}
+
+int paper_ansatz_params(int num_qubits, int repeats) {
+  return 10 * num_qubits * repeats;
+}
+
+}  // namespace qucad

@@ -1,0 +1,20 @@
+#pragma once
+
+#include "circuit/circuit.hpp"
+
+namespace qucad {
+
+/// Appends one block of the paper's VQC ansatz (Sec. IV-A):
+///   4RY + 4CRY + 4RY + 4RX + 4CRX + 4RX + 4RZ + 4CRZ + 4RZ + 4CRZ
+/// generalized to n qubits (n rotations per layer, controlled rotations on
+/// the ring (i -> i+1 mod n)). 10n trainable parameters per block.
+/// `param_counter` supplies and advances the trainable parameter indices.
+void append_paper_block(Circuit& circuit, int& param_counter);
+
+/// Full ansatz: `repeats` blocks on `num_qubits` wires.
+Circuit build_paper_ansatz(int num_qubits, int repeats);
+
+/// Trainable parameter count of build_paper_ansatz.
+int paper_ansatz_params(int num_qubits, int repeats);
+
+}  // namespace qucad

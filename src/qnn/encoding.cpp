@@ -1,0 +1,29 @@
+#include "qnn/encoding.hpp"
+
+#include "common/require.hpp"
+
+namespace qucad {
+
+Circuit angle_encoder(int num_qubits, int num_features) {
+  require(num_qubits > 0 && num_features > 0, "encoder sizes must be positive");
+  Circuit circuit(num_qubits);
+  for (int i = 0; i < num_features; ++i) {
+    const int qubit = i % num_qubits;
+    const int layer = i / num_qubits;
+    const ParamRef ref = input(i);
+    switch (layer % 3) {
+      case 0:
+        circuit.ry(qubit, ref);
+        break;
+      case 1:
+        circuit.rz(qubit, ref);
+        break;
+      default:
+        circuit.rx(qubit, ref);
+        break;
+    }
+  }
+  return circuit;
+}
+
+}  // namespace qucad

@@ -1,0 +1,14 @@
+#pragma once
+
+#include "circuit/circuit.hpp"
+
+namespace qucad {
+
+/// Builds an angle-encoding prefix [25]: feature i is applied as a rotation
+/// on qubit (i % num_qubits), with the rotation axis cycling RY -> RZ -> RX
+/// per layer (layer = i / num_qubits). With num_features == num_qubits this
+/// is the plain one-RY-per-qubit encoder; with 16 features on 4 qubits it
+/// matches the multi-layer re-uploading encoder used for 4x4 images.
+Circuit angle_encoder(int num_qubits, int num_features);
+
+}  // namespace qucad

@@ -1,0 +1,65 @@
+#include "qnn/evaluator.hpp"
+
+#include "common/require.hpp"
+#include "common/stats.hpp"
+#include "common/thread_pool.hpp"
+
+namespace qucad {
+
+NoisyEvalResult noisy_evaluate(const QnnModel& model,
+                               const TranspiledModel& transpiled,
+                               std::span<const double> theta,
+                               const Dataset& data, const Calibration& calib,
+                               const NoisyEvalOptions& options) {
+  require(data.size() > 0, "empty evaluation set");
+  const PhysicalCircuit phys = lower_model(transpiled, theta);
+  const NoiseModel nm(calib, options.noise);
+  const NoisyExecutor executor(phys, nm);
+
+  NoisyEvalResult result;
+  result.predictions.assign(data.size(), -1);
+  std::vector<int> correct(data.size(), 0);
+
+  parallel_for(data.size(), [&](std::size_t i) {
+    std::vector<double> z;
+    if (options.shots > 0) {
+      Rng rng(options.shot_seed + i);
+      z = executor.run_z_shots(data.features[i], options.shots, rng);
+    } else {
+      z = executor.run_z(data.features[i]);
+    }
+    std::vector<double> logits;
+    logits.reserve(model.readout_qubits.size());
+    for (int q : model.readout_qubits) {
+      logits.push_back(z[static_cast<std::size_t>(q)]);
+    }
+    const int pred = static_cast<int>(argmax(logits));
+    result.predictions[i] = pred;
+    correct[i] = pred == data.labels[i] ? 1 : 0;
+  });
+
+  std::size_t total_correct = 0;
+  for (int c : correct) total_correct += static_cast<std::size_t>(c);
+  result.accuracy = static_cast<double>(total_correct) / static_cast<double>(data.size());
+  return result;
+}
+
+double noisy_accuracy(const QnnModel& model, const TranspiledModel& transpiled,
+                      std::span<const double> theta, const Dataset& data,
+                      const Calibration& calib, const NoisyEvalOptions& options) {
+  return noisy_evaluate(model, transpiled, theta, data, calib, options).accuracy;
+}
+
+double noise_free_accuracy(const QnnModel& model, std::span<const double> theta,
+                           const Dataset& data) {
+  require(data.size() > 0, "empty evaluation set");
+  std::vector<int> correct(data.size(), 0);
+  parallel_for(data.size(), [&](std::size_t i) {
+    correct[i] = predict(model, theta, data.features[i]) == data.labels[i] ? 1 : 0;
+  });
+  std::size_t total = 0;
+  for (int c : correct) total += static_cast<std::size_t>(c);
+  return static_cast<double>(total) / static_cast<double>(data.size());
+}
+
+}  // namespace qucad

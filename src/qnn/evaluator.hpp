@@ -1,0 +1,44 @@
+#pragma once
+
+#include <span>
+
+#include "data/dataset.hpp"
+#include "noise/calibration.hpp"
+#include "noise/noise_model.hpp"
+#include "qnn/model.hpp"
+#include "transpile/transpiler.hpp"
+
+namespace qucad {
+
+struct NoisyEvalOptions {
+  NoiseModelOptions noise;
+  int shots = 0;  // 0 = exact density-matrix expectations
+  std::uint64_t shot_seed = 99;
+};
+
+struct NoisyEvalResult {
+  double accuracy = 0.0;
+  std::vector<int> predictions;
+};
+
+/// Exact noisy evaluation of parameters on a dataset: lowers the routed
+/// model at `theta` (compression peephole active), builds the calibration's
+/// noise model, and classifies every sample with the density-matrix
+/// executor. Parallel over samples.
+NoisyEvalResult noisy_evaluate(const QnnModel& model,
+                               const TranspiledModel& transpiled,
+                               std::span<const double> theta,
+                               const Dataset& data, const Calibration& calib,
+                               const NoisyEvalOptions& options = {});
+
+/// Accuracy-only convenience wrapper.
+double noisy_accuracy(const QnnModel& model, const TranspiledModel& transpiled,
+                      std::span<const double> theta, const Dataset& data,
+                      const Calibration& calib,
+                      const NoisyEvalOptions& options = {});
+
+/// Ideal-simulator accuracy of the logical model.
+double noise_free_accuracy(const QnnModel& model, std::span<const double> theta,
+                           const Dataset& data);
+
+}  // namespace qucad

@@ -1,0 +1,110 @@
+#include "qnn/gradients.hpp"
+
+#include "common/require.hpp"
+#include "common/stats.hpp"
+#include "common/thread_pool.hpp"
+#include "qnn/loss.hpp"
+#include "sim/adjoint.hpp"
+#include "sim/statevector.hpp"
+
+namespace qucad {
+
+namespace {
+
+std::vector<double> readout_logits(const std::vector<double>& z_all,
+                                   const std::vector<int>& readout_qubits) {
+  std::vector<double> logits;
+  logits.reserve(readout_qubits.size());
+  for (int q : readout_qubits) {
+    logits.push_back(z_all[static_cast<std::size_t>(q)]);
+  }
+  return logits;
+}
+
+}  // namespace
+
+BatchGrad batch_loss_grad(const Circuit& circuit,
+                          const std::vector<int>& readout_qubits,
+                          std::span<const double> theta, const Dataset& data,
+                          std::span<const std::size_t> indices,
+                          double logit_scale) {
+  require(!indices.empty(), "empty batch");
+  const std::size_t batch = indices.size();
+  const std::size_t num_params = static_cast<std::size_t>(circuit.num_trainable());
+  const int n = circuit.num_qubits();
+
+  std::vector<double> losses(batch, 0.0);
+  std::vector<int> correct(batch, 0);
+  std::vector<std::vector<double>> grads(batch);
+
+  parallel_for(batch, [&](std::size_t b) {
+    const std::size_t row = indices[b];
+    const std::vector<double>& x = data.features[row];
+    const int label = data.labels[row];
+
+    const AdjointResult result = adjoint_gradient(
+        circuit, theta, x,
+        [&](const std::vector<double>& z_all) {
+          const std::vector<double> logits = readout_logits(z_all, readout_qubits);
+          const std::vector<double> dlogits =
+              cross_entropy_grad(logits, label, logit_scale);
+          std::vector<double> weights(static_cast<std::size_t>(n), 0.0);
+          for (std::size_t c = 0; c < readout_qubits.size(); ++c) {
+            weights[static_cast<std::size_t>(readout_qubits[c])] += dlogits[c];
+          }
+          return weights;
+        });
+
+    const std::vector<double> logits =
+        readout_logits(result.z_expectations, readout_qubits);
+    losses[b] = cross_entropy(logits, label, logit_scale);
+    correct[b] = static_cast<int>(argmax(logits)) == label ? 1 : 0;
+    grads[b] = result.gradients;
+  });
+
+  BatchGrad out;
+  out.grad.assign(num_params, 0.0);
+  for (std::size_t b = 0; b < batch; ++b) {
+    out.loss += losses[b];
+    out.accuracy += correct[b];
+    for (std::size_t p = 0; p < num_params; ++p) out.grad[p] += grads[b][p];
+  }
+  const double inv = 1.0 / static_cast<double>(batch);
+  out.loss *= inv;
+  out.accuracy *= inv;
+  for (double& g : out.grad) g *= inv;
+  return out;
+}
+
+BatchGrad batch_loss(const Circuit& circuit,
+                     const std::vector<int>& readout_qubits,
+                     std::span<const double> theta, const Dataset& data,
+                     std::span<const std::size_t> indices, double logit_scale) {
+  require(!indices.empty(), "empty batch");
+  const std::size_t batch = indices.size();
+
+  std::vector<double> losses(batch, 0.0);
+  std::vector<int> correct(batch, 0);
+
+  parallel_for(batch, [&](std::size_t b) {
+    const std::size_t row = indices[b];
+    StateVector sv(circuit.num_qubits());
+    sv.run(circuit, theta, data.features[row]);
+    std::vector<double> logits;
+    logits.reserve(readout_qubits.size());
+    for (int q : readout_qubits) logits.push_back(sv.expectation_z(q));
+    losses[b] = cross_entropy(logits, data.labels[row], logit_scale);
+    correct[b] = static_cast<int>(argmax(logits)) == data.labels[row] ? 1 : 0;
+  });
+
+  BatchGrad out;
+  for (std::size_t b = 0; b < batch; ++b) {
+    out.loss += losses[b];
+    out.accuracy += correct[b];
+  }
+  out.loss /= static_cast<double>(batch);
+  out.accuracy /= static_cast<double>(batch);
+  return out;
+}
+
+}  // namespace qucad

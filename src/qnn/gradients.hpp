@@ -1,0 +1,36 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "data/dataset.hpp"
+
+namespace qucad {
+
+/// Mean loss/gradient of a mini-batch.
+struct BatchGrad {
+  double loss = 0.0;
+  double accuracy = 0.0;
+  std::vector<double> grad;
+};
+
+/// Mean cross-entropy loss, accuracy and exact gradient over the selected
+/// samples, computed with one adjoint pass per sample (parallelized).
+///
+/// Works on any circuit whose inputs are the dataset features: the logical
+/// model circuit, the routed physical circuit (pass the physical readout
+/// qubits), or a noise-injected variant.
+BatchGrad batch_loss_grad(const Circuit& circuit,
+                          const std::vector<int>& readout_qubits,
+                          std::span<const double> theta, const Dataset& data,
+                          std::span<const std::size_t> indices,
+                          double logit_scale);
+
+/// Loss/accuracy only (skips the backward sweep).
+BatchGrad batch_loss(const Circuit& circuit,
+                     const std::vector<int>& readout_qubits,
+                     std::span<const double> theta, const Dataset& data,
+                     std::span<const std::size_t> indices, double logit_scale);
+
+}  // namespace qucad

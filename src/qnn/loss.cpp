@@ -1,0 +1,44 @@
+#include "qnn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace qucad {
+
+std::vector<double> softmax(std::span<const double> logits) {
+  require(!logits.empty(), "softmax on empty logits");
+  const double max_logit = *std::max_element(logits.begin(), logits.end());
+  std::vector<double> out(logits.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    out[i] = std::exp(logits[i] - max_logit);
+    total += out[i];
+  }
+  for (double& v : out) v /= total;
+  return out;
+}
+
+double cross_entropy(std::span<const double> logits, int label, double scale) {
+  require(label >= 0 && static_cast<std::size_t>(label) < logits.size(),
+          "label out of range");
+  std::vector<double> scaled(logits.size());
+  for (std::size_t i = 0; i < logits.size(); ++i) scaled[i] = scale * logits[i];
+  const std::vector<double> probs = softmax(scaled);
+  return -std::log(std::max(probs[static_cast<std::size_t>(label)], 1e-12));
+}
+
+std::vector<double> cross_entropy_grad(std::span<const double> logits,
+                                       int label, double scale) {
+  require(label >= 0 && static_cast<std::size_t>(label) < logits.size(),
+          "label out of range");
+  std::vector<double> scaled(logits.size());
+  for (std::size_t i = 0; i < logits.size(); ++i) scaled[i] = scale * logits[i];
+  std::vector<double> grad = softmax(scaled);
+  grad[static_cast<std::size_t>(label)] -= 1.0;
+  for (double& g : grad) g *= scale;
+  return grad;
+}
+
+}  // namespace qucad

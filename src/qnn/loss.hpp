@@ -1,0 +1,20 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace qucad {
+
+/// Numerically stable softmax.
+std::vector<double> softmax(std::span<const double> logits);
+
+/// Cross-entropy of softmax(logits * scale) against `label`. The scale
+/// compensates for <Z> logits living in [-1, 1] (QNN readouts are soft).
+double cross_entropy(std::span<const double> logits, int label,
+                     double scale = 1.0);
+
+/// dL/dlogits for the same loss: scale * (softmax(scale*logits) - onehot).
+std::vector<double> cross_entropy_grad(std::span<const double> logits,
+                                       int label, double scale = 1.0);
+
+}  // namespace qucad

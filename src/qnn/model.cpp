@@ -1,0 +1,50 @@
+#include "qnn/model.hpp"
+
+#include "common/require.hpp"
+#include "common/stats.hpp"
+#include "qnn/ansatz.hpp"
+#include "qnn/encoding.hpp"
+#include "sim/statevector.hpp"
+
+namespace qucad {
+
+QnnModel build_paper_model(int num_qubits, int num_features, int num_classes,
+                           int repeats) {
+  require(num_classes >= 2 && num_classes <= num_qubits,
+          "need one readout qubit per class");
+  QnnModel model;
+  model.circuit = angle_encoder(num_qubits, num_features);
+  model.circuit.append(build_paper_ansatz(num_qubits, repeats));
+  model.num_classes = num_classes;
+  model.readout_qubits.resize(static_cast<std::size_t>(num_classes));
+  for (int c = 0; c < num_classes; ++c) {
+    model.readout_qubits[static_cast<std::size_t>(c)] = c;
+  }
+  return model;
+}
+
+std::vector<double> init_params(const QnnModel& model, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> theta(static_cast<std::size_t>(model.num_params()));
+  for (double& t : theta) t = rng.uniform(-3.14159265358979323846, 3.14159265358979323846);
+  return theta;
+}
+
+std::vector<double> forward_logits(const QnnModel& model,
+                                   std::span<const double> theta,
+                                   std::span<const double> x) {
+  StateVector sv(model.num_qubits());
+  sv.run(model.circuit, theta, x);
+  std::vector<double> logits;
+  logits.reserve(model.readout_qubits.size());
+  for (int q : model.readout_qubits) logits.push_back(sv.expectation_z(q));
+  return logits;
+}
+
+int predict(const QnnModel& model, std::span<const double> theta,
+            std::span<const double> x) {
+  const std::vector<double> logits = forward_logits(model, theta, x);
+  return static_cast<int>(argmax(logits));
+}
+
+}  // namespace qucad

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "common/rng.hpp"
+
+namespace qucad {
+
+/// A QNN: angle encoder + trainable ansatz, with class scores read out as
+/// <Z> of the first `num_classes` qubits.
+struct QnnModel {
+  Circuit circuit;  // encoder followed by ansatz (logical qubits)
+  int num_classes = 2;
+  std::vector<int> readout_qubits;  // logical readout qubit per class
+
+  QnnModel() : circuit(1) {}
+
+  int num_qubits() const { return circuit.num_qubits(); }
+  int num_params() const { return circuit.num_trainable(); }
+  int num_inputs() const { return circuit.num_inputs(); }
+};
+
+/// Builds the paper's model: angle encoder for `num_features`, `repeats`
+/// ansatz blocks, readout on qubits [0, num_classes).
+QnnModel build_paper_model(int num_qubits, int num_features, int num_classes,
+                           int repeats);
+
+/// Uniform [-pi, pi) initialization.
+std::vector<double> init_params(const QnnModel& model, std::uint64_t seed);
+
+/// Noise-free forward pass: <Z> of each readout qubit.
+std::vector<double> forward_logits(const QnnModel& model,
+                                   std::span<const double> theta,
+                                   std::span<const double> x);
+
+/// argmax over forward_logits.
+int predict(const QnnModel& model, std::span<const double> theta,
+            std::span<const double> x);
+
+}  // namespace qucad

@@ -1,0 +1,61 @@
+#include "qnn/noise_injection.hpp"
+
+#include "common/require.hpp"
+
+namespace qucad {
+
+namespace {
+
+double gate_error_weight(const Gate& g, const Calibration& calib) {
+  switch (g.kind) {
+    case GateKind::RZ:
+      return 0.0;  // virtual
+    case GateKind::RX:
+    case GateKind::RY:
+      return 2.0 * calib.sx_error(g.q0);  // two pulses generically
+    case GateKind::X:
+    case GateKind::SX:
+    case GateKind::SXdg:
+    case GateKind::H:
+    case GateKind::Y:
+    case GateKind::Z:
+      return calib.sx_error(g.q0);
+    case GateKind::CRX:
+    case GateKind::CRY:
+    case GateKind::CRZ:
+    case GateKind::CZ:
+      return 2.0 * calib.cx_error(g.q0, g.q1);
+    case GateKind::CX:
+      return calib.cx_error(g.q0, g.q1);
+    case GateKind::Swap:
+      return 3.0 * calib.cx_error(g.q0, g.q1);
+  }
+  return 0.0;
+}
+
+GateKind random_pauli(Rng& rng) {
+  switch (rng.integer(0, 2)) {
+    case 0: return GateKind::X;
+    case 1: return GateKind::Y;
+    default: return GateKind::Z;
+  }
+}
+
+}  // namespace
+
+Circuit inject_pauli_noise(const Circuit& routed, const Calibration& calibration,
+                           Rng& rng, const InjectionOptions& options) {
+  require(routed.num_qubits() <= calibration.num_qubits(),
+          "routed circuit exceeds calibrated device");
+  Circuit out(routed.num_qubits());
+  for (const Gate& g : routed.gates()) {
+    out.add(g);
+    const double p = options.scale * gate_error_weight(g, calibration);
+    if (p <= 0.0 || !rng.bernoulli(p)) continue;
+    const int victim = (g.num_qubits() == 2 && rng.bernoulli(0.5)) ? g.q1 : g.q0;
+    out.add(Gate{random_pauli(rng), victim, -1, ParamRef{}, 0.0});
+  }
+  return out;
+}
+
+}  // namespace qucad

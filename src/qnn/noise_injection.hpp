@@ -1,0 +1,24 @@
+#pragma once
+
+#include "circuit/circuit.hpp"
+#include "common/rng.hpp"
+#include "noise/calibration.hpp"
+
+namespace qucad {
+
+struct InjectionOptions {
+  /// Multiplier on calibrated error rates (1.0 = calibrated strength).
+  double scale = 1.0;
+};
+
+/// Noise-aware-training noise injection [12]: returns a copy of the routed
+/// circuit with stochastic Pauli errors inserted after gates. Each gate
+/// draws an error with probability proportional to its physical location's
+/// calibrated error rate (scaled by the pulse count of its decomposition:
+/// 2 CX for controlled rotations, 3 for SWAP, ~2 pulses for generic 1q
+/// rotations, 0 for virtual RZ). Inserted Paulis are fixed gates, so the
+/// injected circuit remains differentiable by the adjoint engine.
+Circuit inject_pauli_noise(const Circuit& routed, const Calibration& calibration,
+                           Rng& rng, const InjectionOptions& options = {});
+
+}  // namespace qucad

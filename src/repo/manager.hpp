@@ -1,0 +1,73 @@
+#pragma once
+
+#include "compress/admm.hpp"
+#include "repo/repository.hpp"
+
+namespace qucad {
+
+struct ManagerOptions {
+  AdmmOptions admm;  // used when a new model must be generated online
+  /// Guidance 2: when > 0, matching an invalid cluster emits a failure
+  /// report instead of silently returning a weak model.
+  bool enable_failure_reports = true;
+  /// Bootstrap threshold (repository built without an offline stage):
+  /// compress anew when today's match distance exceeds
+  /// `bootstrap_scale x running mean of past match distances`.
+  double bootstrap_scale = 1.5;
+};
+
+/// Online model-repository manager (Sec. III-D). Each day it matches the
+/// current calibration against the repository under dist^w_L1:
+///  - distance <= threshold: reuse the stored compressed model
+///  - distance >  threshold: treat today as a new centroid — run noise-aware
+///    compression now and add the result to the repository
+///  - matched cluster invalid: emit a failure report (Guidance 2)
+class OnlineManager {
+ public:
+  OnlineManager(const QnnModel& model, const TranspiledModel& transpiled,
+                const std::vector<double>& theta_pretrained,
+                const Dataset& train_data, ModelRepository repository,
+                ManagerOptions options);
+
+  struct Decision {
+    enum class Action { Reuse, NewModel, Failure };
+    Action action = Action::Reuse;
+    int entry_index = -1;
+    double distance = 0.0;
+    double threshold = 0.0;
+    double optimize_seconds = 0.0;
+  };
+
+  /// Processes one day's calibration and returns what was done. The model
+  /// to execute afterwards is entry(decision.entry_index).theta.
+  Decision process_day(const Calibration& calibration);
+
+  const ModelRepository& repository() const { return repository_; }
+
+  /// The parameters selected by a decision.
+  const std::vector<double>& theta_for(const Decision& decision) const;
+
+  int optimizations_run() const { return optimizations_; }
+  int reuses() const { return reuses_; }
+  double total_optimize_seconds() const { return total_optimize_seconds_; }
+
+ private:
+  const QnnModel& model_;
+  const TranspiledModel& transpiled_;
+  std::vector<double> theta_pretrained_;
+  const Dataset& train_data_;
+  ModelRepository repository_;
+  ManagerOptions options_;
+
+  bool offline_threshold_;
+  // Bootstrap scale estimate: running mean of each new day's weighted-L1
+  // distance to the nearest previously seen calibration.
+  std::vector<std::vector<double>> seen_features_;
+  double day_scale_sum_ = 0.0;
+  int day_scale_count_ = 0;
+  int optimizations_ = 0;
+  int reuses_ = 0;
+  double total_optimize_seconds_ = 0.0;
+};
+
+}  // namespace qucad

@@ -1,0 +1,50 @@
+#include "repo/repository.hpp"
+
+#include <limits>
+
+#include "common/require.hpp"
+#include "repo/weights.hpp"
+
+namespace qucad {
+
+const RepoEntry& ModelRepository::entry(int index) const {
+  require(index >= 0 && static_cast<std::size_t>(index) < entries_.size(),
+          "repository index out of range");
+  return entries_[static_cast<std::size_t>(index)];
+}
+
+RepoEntry& ModelRepository::entry(int index) {
+  require(index >= 0 && static_cast<std::size_t>(index) < entries_.size(),
+          "repository index out of range");
+  return entries_[static_cast<std::size_t>(index)];
+}
+
+void ModelRepository::add(RepoEntry entry) {
+  require(!entry.centroid.empty(), "entry requires a centroid");
+  if (!entries_.empty()) {
+    require(entry.centroid.size() == entries_.front().centroid.size(),
+            "centroid dimension mismatch");
+  }
+  entries_.push_back(std::move(entry));
+}
+
+ModelRepository::Match ModelRepository::best_match(
+    const std::vector<double>& calibration_features) const {
+  Match match;
+  if (entries_.empty()) return match;
+  require(weights_.size() == calibration_features.size(),
+          "repository weights not initialized for this feature dimension");
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const double dist =
+        weighted_l1(calibration_features, entries_[i].centroid, weights_);
+    if (dist < best) {
+      best = dist;
+      match.index = static_cast<int>(i);
+      match.distance = dist;
+    }
+  }
+  return match;
+}
+
+}  // namespace qucad

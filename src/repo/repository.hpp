@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qucad {
+
+/// One <M', D'> pair of the model repository: a compressed model optimized
+/// for a representative calibration, plus bookkeeping for Guidance 1/2.
+struct RepoEntry {
+  std::vector<double> centroid;        // calibration feature vector D'
+  std::vector<double> theta;           // compressed parameters M'
+  std::vector<std::uint8_t> frozen;    // compression mask of M'
+  double mean_cluster_accuracy = -1.0;  // offline estimate; <0 = unknown
+  bool valid = true;                    // Guidance 2: invalid clusters fail
+  std::string tag;                      // provenance (e.g. "offline-c3")
+  int uses = 0;
+};
+
+/// The repository: entries, the distance weights, and the matching
+/// threshold th_w (Guidance 1).
+class ModelRepository {
+ public:
+  struct Match {
+    int index = -1;
+    double distance = 0.0;
+  };
+
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+
+  const RepoEntry& entry(int index) const;
+  RepoEntry& entry(int index);
+  const std::vector<RepoEntry>& entries() const { return entries_; }
+
+  void add(RepoEntry entry);
+
+  const std::vector<double>& weights() const { return weights_; }
+  void set_weights(std::vector<double> weights) { weights_ = std::move(weights); }
+
+  double threshold() const { return threshold_; }
+  void set_threshold(double threshold) { threshold_ = threshold; }
+
+  /// Nearest entry under dist^w_L1; index -1 when the repository is empty.
+  Match best_match(const std::vector<double>& calibration_features) const;
+
+ private:
+  std::vector<RepoEntry> entries_;
+  std::vector<double> weights_;
+  double threshold_ = 0.0;
+};
+
+}  // namespace qucad

@@ -1,0 +1,51 @@
+#include "repo/weights.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "common/stats.hpp"
+
+namespace qucad {
+
+std::vector<double> performance_weights(
+    const std::vector<std::vector<double>>& calibration_features,
+    const std::vector<double>& accuracies) {
+  require(!calibration_features.empty(), "empty calibration history");
+  require(calibration_features.size() == accuracies.size(),
+          "one accuracy per calibration required");
+  const std::size_t d = calibration_features.front().size();
+
+  std::vector<double> weights(d, 0.0);
+  std::vector<double> column(calibration_features.size());
+  for (std::size_t j = 0; j < d; ++j) {
+    for (std::size_t i = 0; i < calibration_features.size(); ++i) {
+      require(calibration_features[i].size() == d, "ragged feature matrix");
+      column[i] = calibration_features[i][j];
+    }
+    weights[j] = std::abs(pearson(column, accuracies));
+  }
+  return weights;
+}
+
+double weighted_l1(const std::vector<double>& a, const std::vector<double>& b,
+                   const std::vector<double>& w) {
+  require(a.size() == b.size() && a.size() == w.size(),
+          "dimension mismatch in weighted_l1");
+  double acc = 0.0;
+  for (std::size_t j = 0; j < a.size(); ++j) {
+    acc += w[j] * std::abs(a[j] - b[j]);
+  }
+  return acc;
+}
+
+double euclidean(const std::vector<double>& a, const std::vector<double>& b) {
+  require(a.size() == b.size(), "dimension mismatch in euclidean");
+  double acc = 0.0;
+  for (std::size_t j = 0; j < a.size(); ++j) {
+    const double d = a[j] - b[j];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace qucad

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <vector>
+
+namespace qucad {
+
+/// Performance-aware clustering weights (Sec. III-C): w_j is the absolute
+/// Pearson correlation between the model's per-day accuracy and the j-th
+/// calibration feature across the offline history. Dimensions whose noise
+/// actually moves the model's accuracy dominate the distance.
+std::vector<double> performance_weights(
+    const std::vector<std::vector<double>>& calibration_features,
+    const std::vector<double>& accuracies);
+
+/// Weighted Manhattan distance dist_L1(w*a, w*b) (Eq. 5).
+double weighted_l1(const std::vector<double>& a, const std::vector<double>& b,
+                   const std::vector<double>& w);
+
+/// Standard metrics for the ablation baseline (Table II).
+double euclidean(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace qucad

@@ -1,0 +1,210 @@
+#include "sim/adjoint.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace qucad {
+
+namespace {
+
+// Pauli axis of a rotation gate's generator.
+enum class Axis { X, Y, Z };
+
+Axis rotation_axis(GateKind kind) {
+  switch (kind) {
+    case GateKind::RX:
+    case GateKind::CRX:
+      return Axis::X;
+    case GateKind::RY:
+    case GateKind::CRY:
+      return Axis::Y;
+    case GateKind::RZ:
+    case GateKind::CRZ:
+      return Axis::Z;
+    default:
+      require(false, "rotation_axis called on non-rotation gate");
+      return Axis::Z;
+  }
+}
+
+// Applies the (projected) Pauli generator of a rotation gate in place:
+// sigma_axis on `target`, restricted to amplitudes whose `control` bit is 1
+// when control >= 0 (amplitudes with control bit 0 are zeroed).
+void apply_generator(std::vector<cplx>& amps, Axis axis, int target, int control) {
+  const std::size_t mt = std::size_t{1} << target;
+  const std::size_t mc = control >= 0 ? (std::size_t{1} << control) : 0;
+  const cplx iu{0.0, 1.0};
+  for (std::size_t i = 0; i < amps.size(); ++i) {
+    if (mc != 0 && !(i & mc)) {
+      amps[i] = 0.0;
+      continue;
+    }
+    if (axis == Axis::Z) {
+      if (i & mt) amps[i] = -amps[i];
+      continue;
+    }
+    if (i & mt) continue;  // handle each (0,1) pair once, at the bit-0 index
+    const std::size_t j = i | mt;
+    const bool pair_active = mc == 0 || (j & mc);
+    const cplx a0 = amps[i];
+    const cplx a1 = pair_active ? amps[j] : cplx{0.0, 0.0};
+    if (axis == Axis::X) {
+      amps[i] = a1;
+      if (pair_active) amps[j] = a0;
+    } else {  // Y
+      amps[i] = -iu * a1;
+      if (pair_active) amps[j] = iu * a0;
+    }
+  }
+}
+
+// <O_eff> with O_eff = sum_q w_q Z_q for a probability vector.
+double weighted_z(const std::vector<double>& probs, const std::vector<double>& w,
+                  int num_qubits) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    double sign_sum = 0.0;
+    for (int q = 0; q < num_qubits; ++q) {
+      if (w[static_cast<std::size_t>(q)] == 0.0) continue;
+      const double z = (i >> q) & 1 ? -1.0 : 1.0;
+      sign_sum += w[static_cast<std::size_t>(q)] * z;
+    }
+    acc += probs[i] * sign_sum;
+  }
+  return acc;
+}
+
+}  // namespace
+
+AdjointResult adjoint_gradient(const Circuit& circuit,
+                               std::span<const double> theta,
+                               std::span<const double> x,
+                               const ObservableWeightFn& weight_fn) {
+  const int n = circuit.num_qubits();
+
+  // Forward pass.
+  StateVector ket(n);
+  ket.run(circuit, theta, x);
+
+  AdjointResult result;
+  result.z_expectations.resize(static_cast<std::size_t>(n));
+  for (int q = 0; q < n; ++q) {
+    result.z_expectations[static_cast<std::size_t>(q)] = ket.expectation_z(q);
+  }
+
+  const std::vector<double> weights = weight_fn(result.z_expectations);
+  require(weights.size() == static_cast<std::size_t>(n),
+          "observable weight vector must have one entry per qubit");
+
+  result.gradients.assign(static_cast<std::size_t>(circuit.num_trainable()), 0.0);
+  if (circuit.num_trainable() == 0) return result;
+
+  // lambda = O_eff |psi>, O_eff diagonal in the computational basis.
+  StateVector lam(n);
+  {
+    auto& la = lam.amplitudes();
+    const auto& ka = ket.amplitudes();
+    for (std::size_t i = 0; i < ka.size(); ++i) {
+      double w_sum = 0.0;
+      for (int q = 0; q < n; ++q) {
+        const double z = (i >> q) & 1 ? -1.0 : 1.0;
+        w_sum += weights[static_cast<std::size_t>(q)] * z;
+      }
+      la[i] = w_sum * ka[i];
+    }
+  }
+
+  // Reverse sweep: maintain ket = |psi_k>, lam = U_{k+1}^dag..U_N^dag O|psi>.
+  const auto& gs = circuit.gates();
+  for (std::size_t idx = gs.size(); idx-- > 0;) {
+    const Gate& g = gs[idx];
+    const double angle = circuit.resolve_angle(g, theta, x);
+
+    if (g.param.kind == ParamRef::Kind::Trainable) {
+      // d<O>/dtheta = Im(<lam| G~ |psi_k>) where G~ is the (projected) Pauli
+      // generator; see adjoint.hpp.
+      std::vector<cplx> tmp = ket.amplitudes();
+      const int control = is_controlled_rotation(g.kind) ? g.q0 : -1;
+      const int target = is_controlled_rotation(g.kind) ? g.q1 : g.q0;
+      apply_generator(tmp, rotation_axis(g.kind), target, control);
+      const cplx overlap = inner(lam.amplitudes(), tmp);
+      result.gradients[static_cast<std::size_t>(g.param.index)] += overlap.imag();
+    }
+
+    // Un-apply the gate from both states.
+    const CMat u_dag = gate_matrix(g.kind, angle).dagger();
+    if (g.num_qubits() == 1) {
+      const auto m = as_array2(u_dag);
+      ket.apply1(g.q0, m);
+      lam.apply1(g.q0, m);
+    } else {
+      const auto m = as_array4(u_dag);
+      ket.apply2(g.q0, g.q1, m);
+      lam.apply2(g.q0, g.q1, m);
+    }
+  }
+  return result;
+}
+
+AdjointResult adjoint_gradient(const Circuit& circuit,
+                               std::span<const double> theta,
+                               std::span<const double> x,
+                               std::vector<double> fixed_weights) {
+  return adjoint_gradient(
+      circuit, theta, x,
+      [w = std::move(fixed_weights)](const std::vector<double>&) { return w; });
+}
+
+std::vector<double> parameter_shift_gradient(const Circuit& circuit,
+                                             std::span<const double> theta,
+                                             std::span<const double> x,
+                                             const std::vector<double>& weights) {
+  require(weights.size() == static_cast<std::size_t>(circuit.num_qubits()),
+          "observable weight vector must have one entry per qubit");
+  // Bind everything so individual gate angles can be shifted independently
+  // (correct for shared parameters by the chain rule: contributions add).
+  const Circuit bound = circuit.bind(theta, x);
+
+  auto evaluate = [&](const Circuit& c) {
+    StateVector sv(c.num_qubits());
+    sv.run(c);
+    return weighted_z(sv.probabilities(), weights, c.num_qubits());
+  };
+
+  std::vector<double> grads(static_cast<std::size_t>(circuit.num_trainable()), 0.0);
+  const auto& original_gates = circuit.gates();
+  for (std::size_t gi = 0; gi < original_gates.size(); ++gi) {
+    const Gate& g = original_gates[gi];
+    if (g.param.kind != ParamRef::Kind::Trainable) continue;
+
+    auto shifted_value = [&](double shift) {
+      Circuit c = bound;
+      Circuit shifted(c.num_qubits());
+      std::size_t k = 0;
+      for (const Gate& og : c.gates()) {
+        Gate copy = og;
+        if (k == gi) copy.value += shift;
+        shifted.add(copy);
+        ++k;
+      }
+      return evaluate(shifted);
+    };
+
+    double grad = 0.0;
+    if (is_single_qubit_rotation(g.kind)) {
+      grad = 0.5 * (shifted_value(M_PI / 2.0) - shifted_value(-M_PI / 2.0));
+    } else {
+      // Four-term rule for controlled rotations (generator eigenvalues
+      // {0, +-1/2}).
+      const double c1 = (std::sqrt(2.0) + 1.0) / (4.0 * std::sqrt(2.0));
+      const double c2 = (std::sqrt(2.0) - 1.0) / (4.0 * std::sqrt(2.0));
+      grad = c1 * (shifted_value(M_PI / 2.0) - shifted_value(-M_PI / 2.0)) -
+             c2 * (shifted_value(3.0 * M_PI / 2.0) - shifted_value(-3.0 * M_PI / 2.0));
+    }
+    grads[static_cast<std::size_t>(g.param.index)] += grad;
+  }
+  return grads;
+}
+
+}  // namespace qucad

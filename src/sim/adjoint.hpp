@@ -1,0 +1,53 @@
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "sim/statevector.hpp"
+
+namespace qucad {
+
+/// Result of one adjoint-differentiation pass.
+struct AdjointResult {
+  /// <Z_q> for every qubit in the final state.
+  std::vector<double> z_expectations;
+  /// d<O_eff>/d(theta_i) for every trainable parameter, where
+  /// O_eff = sum_q weight(q) * Z_q with weights chosen by the caller after
+  /// seeing the forward expectations.
+  std::vector<double> gradients;
+};
+
+/// Maps forward-pass <Z> expectations to per-qubit observable weights. This
+/// is the hook that lets a single backward pass compute the gradient of any
+/// scalar function of the expectations (e.g. cross-entropy after softmax):
+/// pass the upstream derivative dL/d<Z_q> as the weight of Z_q.
+using ObservableWeightFn =
+    std::function<std::vector<double>(const std::vector<double>& z_expectations)>;
+
+/// Exact gradient of <O_eff> via adjoint differentiation (one forward and
+/// one reverse sweep, O(gates) regardless of parameter count).
+///
+/// Supports all rotation gates: d/dt exp(-i t G/2) = (-i G/2) exp(-i t G/2)
+/// with G a Pauli for RX/RY/RZ and a projector-Pauli for CRX/CRY/CRZ.
+AdjointResult adjoint_gradient(const Circuit& circuit,
+                               std::span<const double> theta,
+                               std::span<const double> x,
+                               const ObservableWeightFn& weights);
+
+/// Convenience overload with fixed per-qubit weights.
+AdjointResult adjoint_gradient(const Circuit& circuit,
+                               std::span<const double> theta,
+                               std::span<const double> x,
+                               std::vector<double> fixed_weights);
+
+/// Reference implementation via the parameter-shift rule (two-term shift for
+/// RX/RY/RZ, four-term shift for controlled rotations). O(params) circuit
+/// executions; used to cross-check the adjoint engine in tests.
+std::vector<double> parameter_shift_gradient(const Circuit& circuit,
+                                             std::span<const double> theta,
+                                             std::span<const double> x,
+                                             const std::vector<double>& weights);
+
+}  // namespace qucad

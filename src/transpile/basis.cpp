@@ -1,0 +1,243 @@
+#include "transpile/basis.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace qucad {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+constexpr double kTwoPi = 2.0 * kPi;
+
+/// Angle that is either a literal or affine in one input slot.
+struct AngleExpr {
+  double offset = 0.0;
+  int input_index = -1;
+  double scale = 1.0;
+
+  bool symbolic() const { return input_index >= 0; }
+
+  AngleExpr operator+(double delta) const {
+    return AngleExpr{offset + delta, input_index, scale};
+  }
+  AngleExpr operator*(double factor) const {
+    return AngleExpr{offset * factor, input_index, scale * factor};
+  }
+  AngleExpr negated() const { return *this * -1.0; }
+};
+
+enum class Axis1Q { X, Y, Z };
+
+void emit_rz(PhysicalCircuit& out, int q, const AngleExpr& a, double tol) {
+  if (!a.symbolic()) {
+    const double t = std::fmod(std::fmod(a.offset, kTwoPi) + kTwoPi, kTwoPi);
+    if (t < tol || kTwoPi - t < tol) return;  // identity up to global phase
+  }
+  out.push(PhysOp{PhysOpKind::RZ, q, -1, a.offset, a.input_index, a.scale});
+}
+
+void emit_sx(PhysicalCircuit& out, int q) {
+  out.push(PhysOp{PhysOpKind::SX, q, -1, 0.0, -1, 1.0});
+}
+
+void emit_x(PhysicalCircuit& out, int q) {
+  out.push(PhysOp{PhysOpKind::X, q, -1, 0.0, -1, 1.0});
+}
+
+void emit_cx(PhysicalCircuit& out, int control, int target) {
+  out.push(PhysOp{PhysOpKind::CX, control, target, 0.0, -1, 1.0});
+}
+
+bool near(double a, double b, double tol) { return std::abs(a - b) < tol; }
+
+/// Emits R_axis(angle) on qubit q using the shortest pulse sequence.
+/// Generic fallback is the ZSX Euler identity
+///   U3(t, phi, lam) ~ RZ(phi+pi) . SX . RZ(t+pi) . SX . RZ(lam)
+/// (matrix order; emission below is circuit order, rightmost first), with
+/// RY(t) = U3(t, 0, 0) and RX(t) = U3(t, -pi/2, pi/2).
+void emit_rotation(PhysicalCircuit& out, int q, Axis1Q axis, const AngleExpr& a,
+                   double tol) {
+  if (axis == Axis1Q::Z) {
+    emit_rz(out, q, a, tol);
+    return;
+  }
+
+  if (!a.symbolic()) {
+    // Normalize to [0, 2pi) — R(t + 2pi) = -R(t), a global phase.
+    const double t = std::fmod(std::fmod(a.offset, kTwoPi) + kTwoPi, kTwoPi);
+    if (t < tol || near(t, kTwoPi, tol)) return;
+    if (near(t, kPi, tol)) {
+      if (axis == Axis1Q::X) {
+        emit_x(out, q);  // RX(pi) ~ X
+      } else {
+        emit_x(out, q);  // RY(pi) ~ RZ(pi) . X (matrix order)
+        emit_rz(out, q, AngleExpr{kPi}, tol);
+      }
+      return;
+    }
+    if (near(t, kPi / 2.0, tol)) {
+      if (axis == Axis1Q::X) {
+        emit_sx(out, q);  // RX(pi/2) ~ SX
+      } else {
+        // RY(pi/2) ~ RZ(pi/2) . SX . RZ(-pi/2) (matrix order)
+        emit_rz(out, q, AngleExpr{-kPi / 2.0}, tol);
+        emit_sx(out, q);
+        emit_rz(out, q, AngleExpr{kPi / 2.0}, tol);
+      }
+      return;
+    }
+    if (near(t, 3.0 * kPi / 2.0, tol)) {
+      if (axis == Axis1Q::X) {
+        // RX(-pi/2) ~ RZ(pi) . SX . RZ(pi)
+        emit_rz(out, q, AngleExpr{kPi}, tol);
+        emit_sx(out, q);
+        emit_rz(out, q, AngleExpr{kPi}, tol);
+      } else {
+        // RY(-pi/2) ~ RZ(3pi/2) . SX . RZ(pi/2) (matrix order)
+        emit_rz(out, q, AngleExpr{kPi / 2.0}, tol);
+        emit_sx(out, q);
+        emit_rz(out, q, AngleExpr{3.0 * kPi / 2.0}, tol);
+      }
+      return;
+    }
+  }
+
+  // Generic two-pulse ZSX sequence (circuit order: lam, SX, t+pi, SX, phi+pi).
+  const double phi = axis == Axis1Q::X ? -kPi / 2.0 : 0.0;
+  const double lam = axis == Axis1Q::X ? kPi / 2.0 : 0.0;
+  emit_rz(out, q, AngleExpr{lam}, tol);
+  emit_sx(out, q);
+  emit_rz(out, q, a + kPi, tol);
+  emit_sx(out, q);
+  emit_rz(out, q, AngleExpr{phi + kPi}, tol);
+}
+
+/// Controlled rotation via the two-CX ABC decomposition; `axis` is the
+/// target rotation axis. Circuit order:
+///   R(t/2) on target, CX, R(-t/2) on target, CX          (Y and Z axes)
+/// with an RZ basis-change sandwich for the X axis.
+void emit_controlled_rotation(PhysicalCircuit& out, int control, int target,
+                              Axis1Q axis, const AngleExpr& a, double tol) {
+  if (!a.symbolic()) {
+    // CR(t) is periodic in 4pi; CR(0) = I, CR(2pi) = Z on the control.
+    const double t4 =
+        std::fmod(std::fmod(a.offset, 2.0 * kTwoPi) + 2.0 * kTwoPi, 2.0 * kTwoPi);
+    if (t4 < tol || near(t4, 2.0 * kTwoPi, tol)) return;
+    if (near(t4, kTwoPi, tol)) {
+      emit_rz(out, control, AngleExpr{kPi}, tol);
+      return;
+    }
+  }
+
+  const Axis1Q half_axis = axis == Axis1Q::Z ? Axis1Q::Z : Axis1Q::Y;
+  if (axis == Axis1Q::X) {
+    // CRX(t) = (I (x) RZ(-pi/2)) CRY(t) (I (x) RZ(pi/2)) in matrix order.
+    emit_rz(out, target, AngleExpr{kPi / 2.0}, tol);
+  }
+  emit_rotation(out, target, half_axis, a * 0.5, tol);
+  emit_cx(out, control, target);
+  emit_rotation(out, target, half_axis, (a * 0.5).negated(), tol);
+  emit_cx(out, control, target);
+  if (axis == Axis1Q::X) {
+    emit_rz(out, target, AngleExpr{-kPi / 2.0}, tol);
+  }
+}
+
+/// Fixed single-qubit gates expressed as U3 triples (theta, phi, lambda).
+void emit_u3(PhysicalCircuit& out, int q, double theta, double phi, double lam,
+             double tol) {
+  emit_rz(out, q, AngleExpr{lam}, tol);
+  emit_sx(out, q);
+  emit_rz(out, q, AngleExpr{theta + kPi}, tol);
+  emit_sx(out, q);
+  emit_rz(out, q, AngleExpr{phi + kPi}, tol);
+}
+
+}  // namespace
+
+PhysicalCircuit lower_to_basis(const RoutedCircuit& routed,
+                               std::span<const double> theta,
+                               const BasisOptions& options) {
+  const double tol = options.tol;
+  PhysicalCircuit out(routed.circuit.num_qubits());
+
+  for (const Gate& g : routed.circuit.gates()) {
+    require(g.param.kind != ParamRef::Kind::Trainable ||
+                static_cast<std::size_t>(g.param.index) < theta.size(),
+            "lower_to_basis requires all trainable parameters bound");
+
+    AngleExpr angle;
+    if (g.param.kind == ParamRef::Kind::Input) {
+      angle = AngleExpr{0.0, g.param.index, 1.0};
+    } else if (g.param.kind == ParamRef::Kind::Trainable) {
+      angle = AngleExpr{theta[static_cast<std::size_t>(g.param.index)]};
+    } else {
+      angle = AngleExpr{g.value};
+    }
+
+    switch (g.kind) {
+      case GateKind::RX:
+        emit_rotation(out, g.q0, Axis1Q::X, angle, tol);
+        break;
+      case GateKind::RY:
+        emit_rotation(out, g.q0, Axis1Q::Y, angle, tol);
+        break;
+      case GateKind::RZ:
+        emit_rotation(out, g.q0, Axis1Q::Z, angle, tol);
+        break;
+      case GateKind::CRX:
+        emit_controlled_rotation(out, g.q0, g.q1, Axis1Q::X, angle, tol);
+        break;
+      case GateKind::CRY:
+        emit_controlled_rotation(out, g.q0, g.q1, Axis1Q::Y, angle, tol);
+        break;
+      case GateKind::CRZ:
+        emit_controlled_rotation(out, g.q0, g.q1, Axis1Q::Z, angle, tol);
+        break;
+      case GateKind::X:
+        emit_x(out, g.q0);
+        break;
+      case GateKind::Y:
+        emit_u3(out, g.q0, kPi, kPi / 2.0, kPi / 2.0, tol);
+        break;
+      case GateKind::Z:
+        emit_rz(out, g.q0, AngleExpr{kPi}, tol);
+        break;
+      case GateKind::SX:
+        emit_sx(out, g.q0);
+        break;
+      case GateKind::SXdg:
+        emit_rz(out, g.q0, AngleExpr{kPi}, tol);
+        emit_sx(out, g.q0);
+        emit_rz(out, g.q0, AngleExpr{kPi}, tol);
+        break;
+      case GateKind::H:
+        emit_u3(out, g.q0, kPi / 2.0, 0.0, kPi, tol);
+        break;
+      case GateKind::CX:
+        emit_cx(out, g.q0, g.q1);
+        break;
+      case GateKind::CZ:
+        emit_u3(out, g.q1, kPi / 2.0, 0.0, kPi, tol);
+        emit_cx(out, g.q0, g.q1);
+        emit_u3(out, g.q1, kPi / 2.0, 0.0, kPi, tol);
+        break;
+      case GateKind::Swap:
+        emit_cx(out, g.q0, g.q1);
+        emit_cx(out, g.q1, g.q0);
+        emit_cx(out, g.q0, g.q1);
+        break;
+    }
+  }
+
+  // Map logical readout qubits through the routing permutation.
+  out.readout_physical().clear();
+  for (std::size_t l = 0; l < routed.final_mapping.size(); ++l) {
+    out.readout_physical().push_back(routed.final_mapping[l]);
+  }
+  return out;
+}
+
+}  // namespace qucad

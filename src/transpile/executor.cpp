@@ -1,0 +1,153 @@
+#include "transpile/executor.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "linalg/gates.hpp"
+#include "noise/channels.hpp"
+
+namespace qucad {
+
+namespace {
+
+std::array<cplx, 4> rz_array(double angle) {
+  return {std::exp(cplx{0.0, -angle / 2.0}), 0.0, 0.0,
+          std::exp(cplx{0.0, angle / 2.0})};
+}
+
+const std::array<cplx, 4>& sx_array() {
+  static const std::array<cplx, 4> m = as_array2(gates::SX());
+  return m;
+}
+
+const std::array<cplx, 4>& x_array() {
+  static const std::array<cplx, 4> m = as_array2(gates::X());
+  return m;
+}
+
+const std::array<cplx, 16>& cx_array() {
+  static const std::array<cplx, 16> m = as_array4(gates::CX());
+  return m;
+}
+
+}  // namespace
+
+NoisyExecutor::NoisyExecutor(PhysicalCircuit circuit, NoiseModel noise)
+    : circuit_(std::move(circuit)), noise_(std::move(noise)) {
+  require(noise_.num_qubits() == 0 ||
+              noise_.num_qubits() == circuit_.num_qubits(),
+          "noise model qubit count mismatch");
+}
+
+DensityMatrix NoisyExecutor::run_density(std::span<const double> x) const {
+  DensityMatrix dm(circuit_.num_qubits());
+  const bool noisy = noise_.num_qubits() > 0;
+
+  auto apply_pulse_noise = [&](int q) {
+    const PulseNoise& pn = noise_.pulse_noise(q);
+    dm.apply_depolarizing1(q, pn.depolarizing_p);
+    if (!pn.thermal.empty()) dm.apply_kraus1(q, pn.thermal.ops);
+  };
+
+  for (const PhysOp& op : circuit_.ops()) {
+    switch (op.kind) {
+      case PhysOpKind::RZ:
+        dm.apply1(op.q0, rz_array(op.resolve_angle(x)));
+        break;
+      case PhysOpKind::SX:
+        dm.apply1(op.q0, sx_array());
+        if (noisy) apply_pulse_noise(op.q0);
+        break;
+      case PhysOpKind::X:
+        dm.apply1(op.q0, x_array());
+        if (noisy) apply_pulse_noise(op.q0);
+        break;
+      case PhysOpKind::CX: {
+        dm.apply2(op.q0, op.q1, cx_array());
+        if (noisy) {
+          const int a = std::min(op.q0, op.q1);
+          const int b = std::max(op.q0, op.q1);
+          const CxNoise& cn = noise_.cx_noise(a, b);
+          dm.apply_depolarizing2(a, b, cn.depolarizing_p);
+          if (!cn.thermal_first.empty()) dm.apply_kraus1(a, cn.thermal_first.ops);
+          if (!cn.thermal_second.empty()) dm.apply_kraus1(b, cn.thermal_second.ops);
+        }
+        break;
+      }
+    }
+  }
+  return dm;
+}
+
+std::vector<double> NoisyExecutor::z_from_probs(
+    const std::vector<double>& probs) const {
+  std::vector<double> z;
+  z.reserve(circuit_.readout_physical().size());
+  for (int pq : circuit_.readout_physical()) {
+    const std::size_t mq = std::size_t{1} << pq;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < probs.size(); ++i) {
+      acc += (i & mq) ? -probs[i] : probs[i];
+    }
+    z.push_back(acc);
+  }
+  return z;
+}
+
+std::vector<double> NoisyExecutor::run_z(std::span<const double> x) const {
+  const DensityMatrix dm = run_density(x);
+  std::vector<double> probs = dm.diagonal_probabilities();
+  if (noise_.num_qubits() > 0) {
+    // Confusion only matters on measured qubits; restrict to them.
+    std::vector<ReadoutError> errors(static_cast<std::size_t>(circuit_.num_qubits()));
+    for (int pq : circuit_.readout_physical()) {
+      errors[static_cast<std::size_t>(pq)] = noise_.readout()[static_cast<std::size_t>(pq)];
+    }
+    probs = apply_readout_error(std::move(probs), errors);
+  }
+  return z_from_probs(probs);
+}
+
+std::vector<double> NoisyExecutor::run_z_shots(std::span<const double> x,
+                                               int shots, Rng& rng) const {
+  require(shots > 0, "shots must be positive");
+  const DensityMatrix dm = run_density(x);
+  std::vector<double> probs = dm.diagonal_probabilities();
+  if (noise_.num_qubits() > 0) {
+    std::vector<ReadoutError> errors(static_cast<std::size_t>(circuit_.num_qubits()));
+    for (int pq : circuit_.readout_physical()) {
+      errors[static_cast<std::size_t>(pq)] = noise_.readout()[static_cast<std::size_t>(pq)];
+    }
+    probs = apply_readout_error(std::move(probs), errors);
+  }
+  std::vector<double> counts(probs.size(), 0.0);
+  for (int s = 0; s < shots; ++s) {
+    counts[rng.weighted_index(probs)] += 1.0;
+  }
+  for (double& c : counts) c /= static_cast<double>(shots);
+  return z_from_probs(counts);
+}
+
+StateVector run_physical_pure(const PhysicalCircuit& circuit,
+                              std::span<const double> x) {
+  StateVector sv(circuit.num_qubits());
+  for (const PhysOp& op : circuit.ops()) {
+    switch (op.kind) {
+      case PhysOpKind::RZ:
+        sv.apply1(op.q0, rz_array(op.resolve_angle(x)));
+        break;
+      case PhysOpKind::SX:
+        sv.apply1(op.q0, sx_array());
+        break;
+      case PhysOpKind::X:
+        sv.apply1(op.q0, x_array());
+        break;
+      case PhysOpKind::CX:
+        sv.apply2(op.q0, op.q1, cx_array());
+        break;
+    }
+  }
+  return sv;
+}
+
+}  // namespace qucad

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "noise/noise_model.hpp"
+#include "sim/density_matrix.hpp"
+#include "sim/statevector.hpp"
+#include "transpile/physical.hpp"
+
+namespace qucad {
+
+/// Executes a lowered physical circuit. With a noise model attached, every
+/// physical pulse is followed by its calibrated channel (exact density-
+/// matrix evolution, matching what Qiskit Aer converges to at infinite
+/// shots); RZ is virtual and noiseless; measurement applies the classical
+/// readout confusion.
+class NoisyExecutor {
+ public:
+  /// Takes copies: the executor is self-contained and cannot dangle when
+  /// callers pass temporaries (both arguments are cheap relative to a
+  /// single density-matrix run).
+  NoisyExecutor(PhysicalCircuit circuit, NoiseModel noise);
+
+  /// <Z> of each *logical* qubit (routed through the final mapping), exact.
+  std::vector<double> run_z(std::span<const double> x) const;
+
+  /// Shot-sampled estimate of run_z.
+  std::vector<double> run_z_shots(std::span<const double> x, int shots,
+                                  Rng& rng) const;
+
+  /// Final density matrix (before readout error), mainly for tests.
+  DensityMatrix run_density(std::span<const double> x) const;
+
+ private:
+  std::vector<double> z_from_probs(const std::vector<double>& probs) const;
+
+  PhysicalCircuit circuit_;
+  NoiseModel noise_;
+};
+
+/// Noise-free reference: runs the physical circuit on a state vector.
+/// Used by equivalence tests (physical vs logical semantics).
+StateVector run_physical_pure(const PhysicalCircuit& circuit,
+                              std::span<const double> x);
+
+}  // namespace qucad

@@ -1,0 +1,93 @@
+#include "transpile/layout.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <numeric>
+
+#include "common/require.hpp"
+
+namespace qucad {
+
+Layout trivial_layout(int num_logical) {
+  Layout layout(static_cast<std::size_t>(num_logical));
+  std::iota(layout.begin(), layout.end(), 0);
+  return layout;
+}
+
+double layout_cost(const Circuit& logical,
+                   const std::vector<int>& readout_logical,
+                   const CouplingMap& coupling, const Calibration& calibration,
+                   const Layout& layout) {
+  double cost = 0.0;
+  for (const Gate& g : logical.gates()) {
+    if (g.num_qubits() == 1) {
+      cost += calibration.sx_error(layout[static_cast<std::size_t>(g.q0)]);
+      continue;
+    }
+    const int pa = layout[static_cast<std::size_t>(g.q0)];
+    const int pb = layout[static_cast<std::size_t>(g.q1)];
+    const std::vector<int> path = coupling.shortest_path(pa, pb);
+    // A gate at distance d needs (d-1) SWAPs (3 CX each) plus the CX pair of
+    // the decomposed controlled rotation; charge the accumulated error of
+    // every CX-carrying edge along the path.
+    double path_error = 0.0;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      path_error += calibration.cx_error(path[i], path[i + 1]);
+    }
+    const int hops = static_cast<int>(path.size()) - 1;
+    cost += 2.0 * path_error + 3.0 * static_cast<double>(hops - 1) * path_error /
+                                   std::max(1, hops);
+  }
+  for (int lq : readout_logical) {
+    cost += calibration.readout(layout[static_cast<std::size_t>(lq)]).mean();
+  }
+  return cost;
+}
+
+namespace {
+
+void enumerate_placements(int num_logical, int num_physical,
+                          std::vector<int>& current, std::vector<bool>& used,
+                          const std::function<void(const Layout&)>& visit) {
+  if (static_cast<int>(current.size()) == num_logical) {
+    visit(current);
+    return;
+  }
+  for (int p = 0; p < num_physical; ++p) {
+    if (used[static_cast<std::size_t>(p)]) continue;
+    used[static_cast<std::size_t>(p)] = true;
+    current.push_back(p);
+    enumerate_placements(num_logical, num_physical, current, used, visit);
+    current.pop_back();
+    used[static_cast<std::size_t>(p)] = false;
+  }
+}
+
+}  // namespace
+
+Layout noise_aware_layout(const Circuit& logical,
+                          const std::vector<int>& readout_logical,
+                          const CouplingMap& coupling,
+                          const Calibration& calibration) {
+  const int nl = logical.num_qubits();
+  const int np = coupling.num_qubits();
+  require(nl <= np, "logical circuit does not fit on the device");
+  require(np <= 8, "exhaustive layout search limited to small devices");
+
+  Layout best = trivial_layout(nl);
+  double best_cost = std::numeric_limits<double>::infinity();
+  std::vector<int> current;
+  std::vector<bool> used(static_cast<std::size_t>(np), false);
+  enumerate_placements(nl, np, current, used, [&](const Layout& candidate) {
+    const double cost =
+        layout_cost(logical, readout_logical, coupling, calibration, candidate);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = candidate;
+    }
+  });
+  return best;
+}
+
+}  // namespace qucad

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "noise/calibration.hpp"
+#include "transpile/coupling.hpp"
+
+namespace qucad {
+
+/// Assignment of logical qubits to physical qubits. layout[l] = physical
+/// qubit hosting logical qubit l.
+using Layout = std::vector<int>;
+
+/// Identity layout (logical i -> physical i).
+Layout trivial_layout(int num_logical);
+
+/// Noise-aware initial placement (the noise-aware mapping baseline [11] of
+/// the paper): exhaustively scores injective placements on these small
+/// devices, charging each logical two-qubit interaction the error of its
+/// physical path (including SWAP overhead for non-adjacent pairs), each
+/// single-qubit gate its pulse error, and each readout qubit its assignment
+/// error.
+Layout noise_aware_layout(const Circuit& logical,
+                          const std::vector<int>& readout_logical,
+                          const CouplingMap& coupling,
+                          const Calibration& calibration);
+
+/// Cost of a specific placement under the same model (exposed for tests and
+/// ablations).
+double layout_cost(const Circuit& logical,
+                   const std::vector<int>& readout_logical,
+                   const CouplingMap& coupling, const Calibration& calibration,
+                   const Layout& layout);
+
+}  // namespace qucad

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace qucad {
+
+/// Physical basis-gate vocabulary: the IBM Falcon basis {CX, RZ, SX, X}.
+/// RZ is a virtual frame change — zero duration, zero error.
+enum class PhysOpKind { CX, SX, X, RZ };
+
+/// One physical operation. RZ angles may be affine in one input-encoding
+/// slot (angle = input_scale * x[input_index] + angle_offset) so a lowered
+/// circuit can be replayed for every data sample without re-transpiling.
+struct PhysOp {
+  PhysOpKind kind = PhysOpKind::RZ;
+  int q0 = 0;
+  int q1 = -1;             // CX target
+  double angle = 0.0;      // literal angle / affine offset (RZ only)
+  int input_index = -1;    // -1 = literal
+  double input_scale = 1.0;
+
+  double resolve_angle(std::span<const double> x) const;
+};
+
+/// A fully lowered circuit on physical qubits, plus the physical location of
+/// each logical readout qubit.
+class PhysicalCircuit {
+ public:
+  PhysicalCircuit() = default;
+  explicit PhysicalCircuit(int num_qubits) : num_qubits_(num_qubits) {}
+
+  int num_qubits() const { return num_qubits_; }
+  const std::vector<PhysOp>& ops() const { return ops_; }
+  std::vector<int>& readout_physical() { return readout_physical_; }
+  const std::vector<int>& readout_physical() const { return readout_physical_; }
+
+  void push(PhysOp op);
+
+  /// Number of CX gates — the dominant noise cost on hardware.
+  std::size_t cx_count() const;
+
+  /// Number of real single-qubit pulses (SX + X); RZ is free.
+  std::size_t pulse_count() const;
+
+  std::size_t rz_count() const;
+
+  /// Weighted physical length used as the compression objective proxy:
+  /// cx_count * cx_weight + pulse_count.
+  double weighted_length(double cx_weight = 10.0) const;
+
+  /// Circuit depth over non-virtual operations (RZ excluded).
+  std::size_t depth() const;
+
+  std::string summary() const;
+
+ private:
+  int num_qubits_ = 0;
+  std::vector<PhysOp> ops_;
+  std::vector<int> readout_physical_;
+};
+
+}  // namespace qucad

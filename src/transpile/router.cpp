@@ -1,0 +1,65 @@
+#include "transpile/router.hpp"
+
+#include "common/require.hpp"
+
+namespace qucad {
+
+RoutedCircuit route_circuit(const Circuit& logical, const CouplingMap& coupling,
+                            const Layout& initial_layout) {
+  const int nl = logical.num_qubits();
+  const int np = coupling.num_qubits();
+  require(static_cast<int>(initial_layout.size()) == nl,
+          "layout size must match logical qubit count");
+  for (int p : initial_layout) {
+    require(p >= 0 && p < np, "layout maps outside the device");
+  }
+
+  RoutedCircuit out;
+  out.circuit = Circuit(np);
+  out.initial_layout = initial_layout;
+
+  // logical -> physical and its inverse (physical -> logical, -1 if free).
+  std::vector<int> l2p = initial_layout;
+  std::vector<int> p2l(static_cast<std::size_t>(np), -1);
+  for (int l = 0; l < nl; ++l) p2l[static_cast<std::size_t>(l2p[static_cast<std::size_t>(l)])] = l;
+
+  auto apply_swap = [&](int pa, int pb) {
+    out.circuit.swap(pa, pb);
+    ++out.swap_count;
+    const int la = p2l[static_cast<std::size_t>(pa)];
+    const int lb = p2l[static_cast<std::size_t>(pb)];
+    p2l[static_cast<std::size_t>(pa)] = lb;
+    p2l[static_cast<std::size_t>(pb)] = la;
+    if (la >= 0) l2p[static_cast<std::size_t>(la)] = pb;
+    if (lb >= 0) l2p[static_cast<std::size_t>(lb)] = pa;
+  };
+
+  for (const Gate& g : logical.gates()) {
+    Gate routed = g;
+    if (g.num_qubits() == 1) {
+      routed.q0 = l2p[static_cast<std::size_t>(g.q0)];
+      out.circuit.add(routed);
+      continue;
+    }
+    int pa = l2p[static_cast<std::size_t>(g.q0)];
+    int pb = l2p[static_cast<std::size_t>(g.q1)];
+    if (!coupling.adjacent(pa, pb)) {
+      // Walk the control along the shortest path until adjacent to target.
+      const std::vector<int> path = coupling.shortest_path(pa, pb);
+      for (std::size_t i = 0; i + 2 < path.size(); ++i) {
+        apply_swap(path[i], path[i + 1]);
+      }
+      pa = l2p[static_cast<std::size_t>(g.q0)];
+      pb = l2p[static_cast<std::size_t>(g.q1)];
+      require(coupling.adjacent(pa, pb), "routing failed to make pair adjacent");
+    }
+    routed.q0 = pa;
+    routed.q1 = pb;
+    out.circuit.add(routed);
+  }
+
+  out.final_mapping = l2p;
+  return out;
+}
+
+}  // namespace qucad

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "transpile/coupling.hpp"
+#include "transpile/layout.hpp"
+
+namespace qucad {
+
+/// A logical circuit after qubit routing: gates act on physical qubits, and
+/// symbolic parameters (trainable / input) are preserved so the routed
+/// circuit can be retrained, noise-injected, or bound later.
+struct RoutedCircuit {
+  Circuit circuit;                 // on coupling.num_qubits() wires
+  Layout initial_layout;           // logical -> physical at circuit start
+  std::vector<int> final_mapping;  // logical -> physical at circuit end
+  int swap_count = 0;
+
+  RoutedCircuit() : circuit(1) {}
+};
+
+/// Inserts SWAPs so every two-qubit gate acts on coupled physical qubits.
+/// Deterministic: non-adjacent pairs are resolved by walking the first
+/// qubit along a BFS shortest path toward the second. The returned circuit
+/// is structurally independent of parameter values, so the association
+/// between trainable parameters and physical qubits (the paper's A(g)) is
+/// stable across binding and retraining.
+RoutedCircuit route_circuit(const Circuit& logical, const CouplingMap& coupling,
+                            const Layout& initial_layout);
+
+}  // namespace qucad

@@ -1,0 +1,46 @@
+#include "transpile/transpiler.hpp"
+
+#include "common/require.hpp"
+
+namespace qucad {
+
+TranspiledModel transpile_model(const Circuit& logical,
+                                const std::vector<int>& readout_logical,
+                                const CouplingMap& coupling,
+                                const Calibration* calibration,
+                                const TranspileOptions& options) {
+  require(logical.num_qubits() <= coupling.num_qubits(),
+          "circuit does not fit on device");
+
+  const Layout layout =
+      (calibration != nullptr && options.noise_aware_layout)
+          ? noise_aware_layout(logical, readout_logical, coupling, *calibration)
+          : trivial_layout(logical.num_qubits());
+
+  TranspiledModel model;
+  model.routed = route_circuit(logical, coupling, layout);
+
+  // First physical occurrence of each trainable parameter. Parameters are
+  // expected to appear on exactly one gate in QNN ansatze; if shared, the
+  // first occurrence defines the association.
+  model.associations.assign(
+      static_cast<std::size_t>(logical.num_trainable()), GateAssociation{});
+  for (const Gate& g : model.routed.circuit.gates()) {
+    if (g.param.kind != ParamRef::Kind::Trainable) continue;
+    GateAssociation& assoc =
+        model.associations[static_cast<std::size_t>(g.param.index)];
+    if (assoc.param_index >= 0) continue;
+    assoc.param_index = g.param.index;
+    assoc.q0 = g.q0;
+    assoc.q1 = g.num_qubits() == 2 ? g.q1 : -1;
+  }
+  return model;
+}
+
+PhysicalCircuit lower_model(const TranspiledModel& model,
+                            std::span<const double> theta,
+                            const BasisOptions& options) {
+  return lower_to_basis(model.routed, theta, options);
+}
+
+}  // namespace qucad

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "sim/adjoint.hpp"
+
+namespace qucad {
+namespace {
+
+// Central finite differences on <O_eff>, the ground truth both engines must
+// match.
+std::vector<double> finite_difference(const Circuit& circuit,
+                                      std::vector<double> theta,
+                                      const std::vector<double>& x,
+                                      const std::vector<double>& weights,
+                                      double eps = 1e-6) {
+  auto value = [&](const std::vector<double>& t) {
+    StateVector sv(circuit.num_qubits());
+    sv.run(circuit, t, x);
+    double acc = 0.0;
+    for (int q = 0; q < circuit.num_qubits(); ++q) {
+      acc += weights[static_cast<std::size_t>(q)] * sv.expectation_z(q);
+    }
+    return acc;
+  };
+  std::vector<double> grad(theta.size());
+  for (std::size_t i = 0; i < theta.size(); ++i) {
+    const double orig = theta[i];
+    theta[i] = orig + eps;
+    const double up = value(theta);
+    theta[i] = orig - eps;
+    const double down = value(theta);
+    theta[i] = orig;
+    grad[i] = (up - down) / (2.0 * eps);
+  }
+  return grad;
+}
+
+TEST(Adjoint, SingleRyGradient) {
+  Circuit c(1);
+  c.ry(0, trainable(0));
+  const std::vector<double> theta{0.8};
+  const auto result = adjoint_gradient(c, theta, {}, std::vector<double>{1.0});
+  // d/dt cos(t) = -sin(t)
+  EXPECT_NEAR(result.gradients[0], -std::sin(0.8), 1e-10);
+  EXPECT_NEAR(result.z_expectations[0], std::cos(0.8), 1e-10);
+}
+
+TEST(Adjoint, RzOnPlusStateWithXObservableViaBasisChange) {
+  // <Z> after H RZ(t) H |0> = cos(t); gradient -sin(t).
+  Circuit c(1);
+  c.h(0).rz(0, trainable(0)).h(0);
+  const std::vector<double> theta{1.1};
+  const auto result = adjoint_gradient(c, theta, {}, std::vector<double>{1.0});
+  EXPECT_NEAR(result.z_expectations[0], std::cos(1.1), 1e-10);
+  EXPECT_NEAR(result.gradients[0], -std::sin(1.1), 1e-10);
+}
+
+TEST(Adjoint, MatchesFiniteDifferenceOnPaperStyleCircuit) {
+  Circuit c(4);
+  int p = 0;
+  for (int q = 0; q < 4; ++q) c.ry(q, input(q));
+  for (int q = 0; q < 4; ++q) c.ry(q, trainable(p++));
+  for (int q = 0; q < 4; ++q) c.cry(q, (q + 1) % 4, trainable(p++));
+  for (int q = 0; q < 4; ++q) c.rx(q, trainable(p++));
+  for (int q = 0; q < 4; ++q) c.crz(q, (q + 1) % 4, trainable(p++));
+  for (int q = 0; q < 4; ++q) c.rz(q, trainable(p++));
+
+  Rng rng(17);
+  std::vector<double> theta(static_cast<std::size_t>(p));
+  for (double& t : theta) t = rng.uniform(-3.0, 3.0);
+  const std::vector<double> x{0.3, 1.2, 2.2, 0.7};
+  const std::vector<double> weights{0.7, -0.4, 1.3, 0.2};
+
+  const auto result = adjoint_gradient(c, theta, x, weights);
+  const auto fd = finite_difference(c, theta, x, weights);
+  ASSERT_EQ(result.gradients.size(), fd.size());
+  for (std::size_t i = 0; i < fd.size(); ++i) {
+    EXPECT_NEAR(result.gradients[i], fd[i], 1e-6) << "param " << i;
+  }
+}
+
+TEST(Adjoint, MatchesParameterShift) {
+  Circuit c(3);
+  c.ry(0, trainable(0))
+      .cry(0, 1, trainable(1))
+      .crx(1, 2, trainable(2))
+      .rz(2, trainable(3))
+      .crz(2, 0, trainable(4))
+      .rx(1, trainable(5));
+  Rng rng(23);
+  std::vector<double> theta(6);
+  for (double& t : theta) t = rng.uniform(-2.0, 2.0);
+  const std::vector<double> weights{1.0, 0.5, -0.8};
+
+  const auto adj = adjoint_gradient(c, theta, {}, weights);
+  const auto shift = parameter_shift_gradient(c, theta, {}, weights);
+  ASSERT_EQ(adj.gradients.size(), shift.size());
+  for (std::size_t i = 0; i < shift.size(); ++i) {
+    EXPECT_NEAR(adj.gradients[i], shift[i], 1e-9) << "param " << i;
+  }
+}
+
+TEST(Adjoint, SharedParameterAccumulates) {
+  // Same trainable on two gates: gradient is the sum of both contributions.
+  Circuit c(1);
+  c.ry(0, trainable(0)).ry(0, trainable(0));
+  const std::vector<double> theta{0.5};
+  const auto result = adjoint_gradient(c, theta, {}, std::vector<double>{1.0});
+  // <Z> = cos(2t); d/dt = -2 sin(2t)
+  EXPECT_NEAR(result.gradients[0], -2.0 * std::sin(1.0), 1e-10);
+}
+
+TEST(Adjoint, FixedGatesContributeNoGradient) {
+  Circuit c(2);
+  c.h(0).ry(1, trainable(0)).cx(0, 1).rz(0, 0.7);
+  const std::vector<double> theta{1.2};
+  const auto result = adjoint_gradient(c, theta, {}, std::vector<double>{0.0, 1.0});
+  EXPECT_EQ(result.gradients.size(), 1u);
+  const auto fd =
+      finite_difference(c, theta, {}, std::vector<double>{0.0, 1.0});
+  EXPECT_NEAR(result.gradients[0], fd[0], 1e-6);
+}
+
+TEST(Adjoint, WeightFunctionSeesForwardExpectations) {
+  Circuit c(2);
+  c.ry(0, trainable(0)).ry(1, trainable(1));
+  const std::vector<double> theta{0.4, 1.9};
+  bool called = false;
+  adjoint_gradient(c, theta, {}, [&](const std::vector<double>& z) {
+    called = true;
+    EXPECT_NEAR(z[0], std::cos(0.4), 1e-10);
+    EXPECT_NEAR(z[1], std::cos(1.9), 1e-10);
+    return std::vector<double>{1.0, 1.0};
+  });
+  EXPECT_TRUE(called);
+}
+
+// Property sweep: adjoint == finite differences across every rotation kind.
+class AdjointGateSweep : public ::testing::TestWithParam<GateKind> {};
+
+TEST_P(AdjointGateSweep, MatchesFiniteDifference) {
+  const GateKind kind = GetParam();
+  Circuit c(2);
+  c.h(0).ry(1, 0.3);
+  Gate g;
+  g.kind = kind;
+  g.q0 = 0;
+  g.q1 = gate_arity(kind) == 2 ? 1 : -1;
+  g.param = trainable(0);
+  c.add(g);
+  c.cx(0, 1);
+
+  for (double t : {-2.1, -0.5, 0.0, 0.9, 2.8}) {
+    const std::vector<double> theta{t};
+    const std::vector<double> weights{0.6, 1.0};
+    const auto adj = adjoint_gradient(c, theta, {}, weights);
+    const auto fd = finite_difference(c, theta, {}, weights);
+    EXPECT_NEAR(adj.gradients[0], fd[0], 1e-6) << "theta=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRotations, AdjointGateSweep,
+                         ::testing::Values(GateKind::RX, GateKind::RY,
+                                           GateKind::RZ, GateKind::CRX,
+                                           GateKind::CRY, GateKind::CRZ),
+                         [](const ::testing::TestParamInfo<GateKind>& info) {
+                           return gate_name(info.param);
+                         });
+
+}  // namespace
+}  // namespace qucad

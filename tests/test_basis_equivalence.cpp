@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "noise/calibration_history.hpp"
+#include "transpile/transpiler.hpp"
+
+namespace qucad {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// Verifies the routed circuit and its basis-lowered form produce the same
+// state (up to global phase) for given parameters.
+void expect_lowering_equivalent(const RoutedCircuit& routed,
+                                const std::vector<double>& theta,
+                                const std::vector<double>& x) {
+  StateVector reference(routed.circuit.num_qubits());
+  reference.run(routed.circuit, theta, x);
+
+  const PhysicalCircuit phys = lower_to_basis(routed, theta);
+  const StateVector lowered = run_physical_pure(phys, x);
+
+  EXPECT_TRUE(equal_up_to_global_phase(reference.amplitudes(),
+                                       lowered.amplitudes(), 1e-8))
+      << "lowering changed the state";
+}
+
+RoutedCircuit wrap_unrouted(const Circuit& c) {
+  RoutedCircuit routed;
+  routed.circuit = c;
+  routed.initial_layout = trivial_layout(c.num_qubits());
+  routed.final_mapping = routed.initial_layout;
+  return routed;
+}
+
+// --- per-gate sweeps across breakpoints and generic angles ----------------
+
+struct GateAngleCase {
+  GateKind kind;
+  double angle;
+};
+
+class BasisGateSweep : public ::testing::TestWithParam<GateAngleCase> {};
+
+TEST_P(BasisGateSweep, LoweringPreservesState) {
+  const auto [kind, angle] = GetParam();
+  Circuit c(2);
+  // Prepare a non-trivial state so phases matter.
+  c.h(0).ry(1, 0.6).crz(0, 1, 0.4);
+  Gate g;
+  g.kind = kind;
+  g.q0 = 0;
+  g.q1 = gate_arity(kind) == 2 ? 1 : -1;
+  g.param = trainable(0);
+  c.add(g);
+  c.h(1);
+
+  expect_lowering_equivalent(wrap_unrouted(c), {angle}, {});
+}
+
+std::vector<GateAngleCase> sweep_cases() {
+  std::vector<GateAngleCase> cases;
+  const std::vector<double> angles{0.0,           kPi / 2.0, kPi,
+                                   3.0 * kPi / 2, 2.0 * kPi, 0.37,
+                                   -1.2,          4.0 * kPi, -kPi / 2.0,
+                                   5.9};
+  for (GateKind kind : {GateKind::RX, GateKind::RY, GateKind::RZ, GateKind::CRX,
+                        GateKind::CRY, GateKind::CRZ}) {
+    for (double a : angles) cases.push_back({kind, a});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGatesAllBreakpoints, BasisGateSweep, ::testing::ValuesIn(sweep_cases()),
+    [](const ::testing::TestParamInfo<GateAngleCase>& info) {
+      const auto& c = info.param;
+      std::string angle = std::to_string(static_cast<int>(c.angle * 1000));
+      for (char& ch : angle) {
+        if (ch == '-') ch = 'm';
+      }
+      return gate_name(c.kind) + "_" + angle;
+    });
+
+// --- fixed gates -----------------------------------------------------------
+
+TEST(BasisLowering, FixedGates) {
+  Circuit c(2);
+  c.h(0).x(1).sx(0).sxdg(1).cz(0, 1).cx(1, 0).swap(0, 1).z(0).y(1);
+  expect_lowering_equivalent(wrap_unrouted(c), {}, {});
+}
+
+TEST(BasisLowering, SymbolicInputsStaySymbolic) {
+  Circuit c(2);
+  c.ry(0, input(0)).rx(1, input(1)).cry(0, 1, input(2)).rz(0, input(0));
+  const RoutedCircuit routed = wrap_unrouted(c);
+  const PhysicalCircuit phys = lower_to_basis(routed, {});
+  // Encoding angles must be replayable: distinct inputs give distinct states.
+  const std::vector<double> x1{0.3, 1.1, 2.0};
+  const std::vector<double> x2{2.9, 0.2, 0.8};
+
+  StateVector ref1(2), ref2(2);
+  ref1.run(c, {}, x1);
+  ref2.run(c, {}, x2);
+  EXPECT_TRUE(equal_up_to_global_phase(run_physical_pure(phys, x1).amplitudes(),
+                                       ref1.amplitudes(), 1e-8));
+  EXPECT_TRUE(equal_up_to_global_phase(run_physical_pure(phys, x2).amplitudes(),
+                                       ref2.amplitudes(), 1e-8));
+}
+
+TEST(BasisLowering, RandomDeepCircuitEquivalence) {
+  Rng rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    Circuit c(3);
+    int p = 0;
+    for (int layer = 0; layer < 6; ++layer) {
+      for (int q = 0; q < 3; ++q) {
+        switch (rng.integer(0, 2)) {
+          case 0: c.ry(q, trainable(p++)); break;
+          case 1: c.rx(q, trainable(p++)); break;
+          default: c.rz(q, trainable(p++)); break;
+        }
+      }
+      const int a = rng.integer(0, 2);
+      const int b = (a + 1 + rng.integer(0, 1)) % 3;
+      switch (rng.integer(0, 2)) {
+        case 0: c.cry(a, b, trainable(p++)); break;
+        case 1: c.crx(a, b, trainable(p++)); break;
+        default: c.crz(a, b, trainable(p++)); break;
+      }
+    }
+    std::vector<double> theta(static_cast<std::size_t>(p));
+    for (double& t : theta) t = rng.uniform(-2.0 * kPi, 2.0 * kPi);
+    expect_lowering_equivalent(wrap_unrouted(c), theta, {});
+  }
+}
+
+// --- peephole gate-count guarantees (the compression mechanism) ------------
+
+std::size_t pulses_for(GateKind kind, double angle) {
+  Circuit c(2);
+  Gate g;
+  g.kind = kind;
+  g.q0 = 0;
+  g.q1 = gate_arity(kind) == 2 ? 1 : -1;
+  g.param = trainable(0);
+  c.add(g);
+  const PhysicalCircuit phys =
+      lower_to_basis(wrap_unrouted(c), std::vector<double>{angle});
+  return phys.pulse_count();
+}
+
+std::size_t cx_for(GateKind kind, double angle) {
+  Circuit c(2);
+  Gate g;
+  g.kind = kind;
+  g.q0 = 0;
+  g.q1 = 1;
+  g.param = trainable(0);
+  c.add(g);
+  const PhysicalCircuit phys =
+      lower_to_basis(wrap_unrouted(c), std::vector<double>{angle});
+  return phys.cx_count();
+}
+
+TEST(Peephole, SingleQubitPulseCounts) {
+  for (GateKind kind : {GateKind::RX, GateKind::RY}) {
+    EXPECT_EQ(pulses_for(kind, 0.0), 0u) << gate_name(kind);
+    EXPECT_EQ(pulses_for(kind, 2.0 * kPi), 0u) << gate_name(kind);
+    EXPECT_EQ(pulses_for(kind, kPi), 1u) << gate_name(kind);          // X pulse
+    EXPECT_EQ(pulses_for(kind, kPi / 2.0), 1u) << gate_name(kind);    // SX
+    EXPECT_EQ(pulses_for(kind, 3.0 * kPi / 2.0), 1u) << gate_name(kind);
+    EXPECT_EQ(pulses_for(kind, 0.73), 2u) << gate_name(kind);         // generic
+  }
+  // RZ is always virtual.
+  for (double a : {0.0, 0.7, kPi, 5.0}) EXPECT_EQ(pulses_for(GateKind::RZ, a), 0u);
+}
+
+TEST(Peephole, ControlledRotationCxCounts) {
+  for (GateKind kind : {GateKind::CRX, GateKind::CRY, GateKind::CRZ}) {
+    EXPECT_EQ(cx_for(kind, 0.0), 0u) << gate_name(kind);       // dropped
+    EXPECT_EQ(cx_for(kind, 2.0 * kPi), 0u) << gate_name(kind); // Z on control
+    EXPECT_EQ(cx_for(kind, 4.0 * kPi), 0u) << gate_name(kind); // identity
+    EXPECT_EQ(cx_for(kind, 0.9), 2u) << gate_name(kind);       // generic
+    EXPECT_EQ(cx_for(kind, kPi), 2u) << gate_name(kind);
+  }
+}
+
+TEST(Peephole, CompressionShortensPaperAnsatz) {
+  // Snapping parameters to breakpoints must reduce the physical length.
+  Circuit c(4);
+  int p = 0;
+  for (int q = 0; q < 4; ++q) c.ry(q, trainable(p++));
+  for (int q = 0; q < 4; ++q) c.cry(q, (q + 1) % 4, trainable(p++));
+
+  Rng rng(5);
+  std::vector<double> generic(static_cast<std::size_t>(p));
+  for (double& t : generic) t = rng.uniform(0.2, 1.2);  // far from breakpoints
+  std::vector<double> snapped(static_cast<std::size_t>(p), 0.0);
+
+  const CalibrationHistory h(FluctuationScenario::belem(), 3, 1);
+  const TranspiledModel tm =
+      transpile_model(c, {0}, CouplingMap::belem(), &h.day(0));
+  const PhysicalCircuit before = lower_model(tm, generic);
+  const PhysicalCircuit after = lower_model(tm, snapped);
+  EXPECT_LT(after.cx_count(), before.cx_count());
+  EXPECT_LT(after.pulse_count(), before.pulse_count());
+}
+
+// --- routing + lowering end-to-end ------------------------------------------
+
+TEST(RoutingEquivalence, LogicalVsRoutedDistributions) {
+  // The routed circuit on the device must reproduce the logical circuit's
+  // joint readout distribution through the final mapping.
+  Circuit c(4);
+  int p = 0;
+  for (int q = 0; q < 4; ++q) c.ry(q, trainable(p++));
+  for (int q = 0; q < 4; ++q) c.cry(q, (q + 1) % 4, trainable(p++));
+  for (int q = 0; q < 4; ++q) c.crz(q, (q + 1) % 4, trainable(p++));
+
+  Rng rng(31);
+  std::vector<double> theta(static_cast<std::size_t>(p));
+  for (double& t : theta) t = rng.uniform(-3.0, 3.0);
+
+  StateVector logical(4);
+  logical.run(c, theta, {});
+  const auto logical_probs = logical.probabilities();
+
+  const RoutedCircuit routed =
+      route_circuit(c, CouplingMap::belem(), trivial_layout(4));
+  const PhysicalCircuit phys = lower_to_basis(routed, theta);
+  const auto physical_probs = run_physical_pure(phys, {}).probabilities();
+
+  // Aggregate physical probabilities onto logical bit patterns.
+  std::vector<double> mapped(16, 0.0);
+  for (std::size_t i = 0; i < physical_probs.size(); ++i) {
+    std::size_t logical_index = 0;
+    for (int l = 0; l < 4; ++l) {
+      const int pq = routed.final_mapping[static_cast<std::size_t>(l)];
+      if (i & (std::size_t{1} << pq)) logical_index |= std::size_t{1} << l;
+    }
+    mapped[logical_index] += physical_probs[i];
+  }
+  for (std::size_t b = 0; b < 16; ++b) {
+    EXPECT_NEAR(mapped[b], logical_probs[b], 1e-8) << "basis state " << b;
+  }
+}
+
+}  // namespace
+}  // namespace qucad

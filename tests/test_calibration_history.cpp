@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+#include "common/stats.hpp"
+#include "noise/calibration_history.hpp"
+
+namespace qucad {
+namespace {
+
+TEST(Scenario, BelemShapeMatchesDevice) {
+  const FluctuationScenario s = FluctuationScenario::belem();
+  EXPECT_EQ(s.num_qubits, 5);
+  EXPECT_EQ(s.edges.size(), 4u);
+  EXPECT_EQ(s.sx_base.size(), 5u);
+  EXPECT_EQ(s.cx_base.size(), 4u);
+  EXPECT_FALSE(s.episodes.empty());
+}
+
+TEST(Scenario, JakartaShapeMatchesDevice) {
+  const FluctuationScenario s = FluctuationScenario::jakarta();
+  EXPECT_EQ(s.num_qubits, 7);
+  EXPECT_EQ(s.edges.size(), 6u);
+}
+
+TEST(History, DeterministicForSameSeed) {
+  const CalibrationHistory a(FluctuationScenario::belem(), 50, 7);
+  const CalibrationHistory b(FluctuationScenario::belem(), 50, 7);
+  for (int d = 0; d < 50; ++d) {
+    EXPECT_EQ(a.day(d).feature_vector(), b.day(d).feature_vector());
+  }
+}
+
+TEST(History, DifferentSeedsDiffer) {
+  const CalibrationHistory a(FluctuationScenario::belem(), 20, 1);
+  const CalibrationHistory b(FluctuationScenario::belem(), 20, 2);
+  EXPECT_NE(a.day(10).feature_vector(), b.day(10).feature_vector());
+}
+
+TEST(History, RatesStayInValidRanges) {
+  const CalibrationHistory h(FluctuationScenario::belem(),
+                             CalibrationHistory::kTotalDays, 2021);
+  for (int d = 0; d < h.days(); ++d) {
+    const Calibration& cal = h.day(d);
+    for (int q = 0; q < cal.num_qubits(); ++q) {
+      EXPECT_GT(cal.sx_error(q), 0.0);
+      EXPECT_LE(cal.sx_error(q), 2e-2);
+      EXPECT_LE(cal.readout(q).p1_given_0, 0.2);
+      EXPECT_LE(cal.t2_us(q), 2.0 * cal.t1_us(q) + 1e-9);
+    }
+    for (const auto& [a, b] : cal.edges()) {
+      EXPECT_GT(cal.cx_error(a, b), 0.0);
+      EXPECT_LE(cal.cx_error(a, b), 0.25);
+    }
+  }
+}
+
+TEST(History, EpisodesElevateTargetedEdge) {
+  // The <1,2> episode spans days 295..332; compare its peak to quiet days.
+  const CalibrationHistory h(FluctuationScenario::belem(),
+                             CalibrationHistory::kTotalDays, 2021);
+  std::vector<double> hot, quiet;
+  for (int d = 300; d < 328; ++d) hot.push_back(h.day(d).cx_error(1, 2));
+  for (int d = 243; d < 260; ++d) quiet.push_back(h.day(d).cx_error(1, 2));
+  EXPECT_GT(mean(hot), 3.0 * mean(quiet));
+}
+
+TEST(History, HeterogeneityAcrossEdges) {
+  // During the <1,2> episode, edge <1,2> must dominate edge <1,3>; during
+  // the <1,3> episode the order flips (Observation 2 of the paper).
+  const CalibrationHistory h(FluctuationScenario::belem(),
+                             CalibrationHistory::kTotalDays, 2021);
+  double mid12 = 0.0, mid13 = 0.0;
+  for (int d = 305; d < 322; ++d) {
+    mid12 += h.day(d).cx_error(1, 2);
+    mid13 += h.day(d).cx_error(1, 3);
+  }
+  EXPECT_GT(mid12, mid13);
+
+  double late12 = 0.0, late13 = 0.0;
+  for (int d = 344; d < 353; ++d) {
+    late12 += h.day(d).cx_error(1, 2);
+    late13 += h.day(d).cx_error(1, 3);
+  }
+  EXPECT_GT(late13, late12);
+}
+
+TEST(History, DateStringsAnchorAtPaperStart) {
+  const CalibrationHistory h(FluctuationScenario::belem(), 400, 1);
+  EXPECT_EQ(h.date_string(0), "08/10/21");
+  EXPECT_EQ(h.date_string(1), "08/11/21");
+  EXPECT_EQ(h.date_string(CalibrationHistory::kOfflineDays), "04/10/22");
+  EXPECT_EQ(h.date_string(365), "08/10/22");
+}
+
+TEST(History, SliceBounds) {
+  const CalibrationHistory h(FluctuationScenario::belem(), 30, 1);
+  const auto s = h.slice(10, 5);
+  EXPECT_EQ(s.size(), 5u);
+  EXPECT_EQ(s[0].feature_vector(), h.day(10).feature_vector());
+  EXPECT_THROW(h.slice(28, 5), PreconditionError);
+  EXPECT_THROW(h.day(30), PreconditionError);
+}
+
+TEST(History, OfflineOnlineSplitConstants) {
+  EXPECT_EQ(CalibrationHistory::kOfflineDays, 243);
+  EXPECT_EQ(CalibrationHistory::kOnlineDays, 146);
+  EXPECT_EQ(CalibrationHistory::kTotalDays, 389);
+}
+
+}  // namespace
+}  // namespace qucad

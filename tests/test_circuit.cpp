@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "circuit/circuit.hpp"
+#include "common/require.hpp"
+
+namespace qucad {
+namespace {
+
+TEST(Gate, ArityAndNames) {
+  EXPECT_EQ(gate_arity(GateKind::RY), 1);
+  EXPECT_EQ(gate_arity(GateKind::CRY), 2);
+  EXPECT_EQ(gate_arity(GateKind::CX), 2);
+  EXPECT_EQ(gate_arity(GateKind::Y), 1);
+  EXPECT_EQ(gate_name(GateKind::CRZ), "crz");
+  EXPECT_EQ(gate_name(GateKind::Swap), "swap");
+}
+
+TEST(Gate, RotationClassification) {
+  EXPECT_TRUE(is_rotation(GateKind::RX));
+  EXPECT_TRUE(is_rotation(GateKind::CRZ));
+  EXPECT_FALSE(is_rotation(GateKind::CX));
+  EXPECT_TRUE(is_controlled_rotation(GateKind::CRY));
+  EXPECT_FALSE(is_controlled_rotation(GateKind::RY));
+  EXPECT_TRUE(is_single_qubit_rotation(GateKind::RZ));
+  EXPECT_FALSE(is_single_qubit_rotation(GateKind::CRX));
+}
+
+TEST(ParamRef, Factories) {
+  const ParamRef t = trainable(3);
+  EXPECT_EQ(t.kind, ParamRef::Kind::Trainable);
+  EXPECT_EQ(t.index, 3);
+  const ParamRef in = input(1);
+  EXPECT_EQ(in.kind, ParamRef::Kind::Input);
+  EXPECT_TRUE(t.is_symbolic());
+  EXPECT_FALSE(ParamRef{}.is_symbolic());
+  EXPECT_THROW(trainable(-1), PreconditionError);
+}
+
+TEST(Circuit, BuilderTracksParamSpaces) {
+  Circuit c(3);
+  c.ry(0, trainable(0)).ry(1, trainable(5)).rz(2, input(2)).cx(0, 1);
+  EXPECT_EQ(c.num_trainable(), 6);  // max index + 1
+  EXPECT_EQ(c.num_inputs(), 3);
+  EXPECT_EQ(c.size(), 4u);
+  EXPECT_EQ(c.two_qubit_count(), 1u);
+}
+
+TEST(Circuit, RejectsBadQubits) {
+  Circuit c(2);
+  EXPECT_THROW(c.ry(2, 0.5), PreconditionError);
+  EXPECT_THROW(c.cx(0, 0), PreconditionError);
+  EXPECT_THROW(c.cry(1, 5, 0.3), PreconditionError);
+}
+
+TEST(Circuit, ResolveAngle) {
+  Circuit c(2);
+  c.ry(0, trainable(0)).rz(1, input(1)).rx(0, 0.25);
+  const std::vector<double> theta{1.5};
+  const std::vector<double> x{9.0, 2.5};
+  EXPECT_DOUBLE_EQ(c.resolve_angle(c.gates()[0], theta, x), 1.5);
+  EXPECT_DOUBLE_EQ(c.resolve_angle(c.gates()[1], theta, x), 2.5);
+  EXPECT_DOUBLE_EQ(c.resolve_angle(c.gates()[2], theta, x), 0.25);
+}
+
+TEST(Circuit, ResolveAngleThrowsWhenVectorTooShort) {
+  Circuit c(1);
+  c.ry(0, trainable(4));
+  const std::vector<double> theta{1.0};
+  EXPECT_THROW(c.resolve_angle(c.gates()[0], theta, {}), PreconditionError);
+}
+
+TEST(Circuit, BindFullAndPartial) {
+  Circuit c(2);
+  c.ry(0, trainable(0)).rz(1, input(0));
+  const std::vector<double> theta{0.7};
+  const std::vector<double> x{0.9};
+
+  const Circuit full = c.bind(theta, x);
+  EXPECT_EQ(full.num_trainable(), 0);
+  EXPECT_EQ(full.num_inputs(), 0);
+  EXPECT_DOUBLE_EQ(full.gates()[0].value, 0.7);
+  EXPECT_DOUBLE_EQ(full.gates()[1].value, 0.9);
+
+  // Binding only theta keeps inputs symbolic.
+  const Circuit partial = c.bind(theta, {});
+  EXPECT_EQ(partial.num_trainable(), 0);
+  EXPECT_EQ(partial.num_inputs(), 1);
+}
+
+TEST(Circuit, AppendMergesParameterSpaces) {
+  Circuit a(2);
+  a.ry(0, trainable(0));
+  Circuit b(2);
+  b.ry(1, trainable(1)).rz(0, input(3));
+  a.append(b);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.num_trainable(), 2);
+  EXPECT_EQ(a.num_inputs(), 4);
+
+  Circuit c3(3);
+  EXPECT_THROW(a.append(c3), PreconditionError);
+}
+
+TEST(Circuit, GatesForTrainable) {
+  Circuit c(2);
+  c.ry(0, trainable(0)).cry(0, 1, trainable(1)).rz(1, trainable(0));
+  const auto idx0 = c.gates_for_trainable(0);
+  ASSERT_EQ(idx0.size(), 2u);
+  EXPECT_EQ(idx0[0], 0u);
+  EXPECT_EQ(idx0[1], 2u);
+  EXPECT_EQ(c.gates_for_trainable(1).size(), 1u);
+  EXPECT_TRUE(c.gates_for_trainable(7).empty());
+}
+
+TEST(Circuit, ToStringMentionsParams) {
+  Circuit c(2);
+  c.ry(0, trainable(2)).rz(1, input(0)).cx(0, 1);
+  const std::string s = c.to_string();
+  EXPECT_NE(s.find("theta[2]"), std::string::npos);
+  EXPECT_NE(s.find("x[0]"), std::string::npos);
+  EXPECT_NE(s.find("cx"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qucad

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+
+namespace qucad {
+namespace {
+
+TEST(Require, ThrowsOnViolation) {
+  EXPECT_NO_THROW(require(true, "fine"));
+  EXPECT_THROW(require(false, "boom"), PreconditionError);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.uniform() == b.uniform()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  std::vector<double> xs(20000);
+  for (double& x : xs) x = rng.normal(5.0, 2.0);
+  EXPECT_NEAR(mean(xs), 5.0, 0.1);
+  EXPECT_NEAR(stddev(xs), 2.0, 0.1);
+}
+
+TEST(Rng, BernoulliProbability) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, BernoulliClampsOutOfRange) {
+  Rng rng(17);
+  EXPECT_FALSE(rng.bernoulli(-0.5));
+  EXPECT_TRUE(rng.bernoulli(1.5));
+}
+
+TEST(Rng, IndexBounds) {
+  Rng rng(19);
+  for (int i = 0; i < 500; ++i) EXPECT_LT(rng.index(7), 7u);
+  EXPECT_THROW(rng.index(0), PreconditionError);
+}
+
+TEST(Rng, WeightedIndexFavorsHeavyWeights) {
+  Rng rng(23);
+  std::vector<double> w{0.0, 0.0, 10.0, 0.1};
+  int heavy = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const std::size_t k = rng.weighted_index(w);
+    EXPECT_TRUE(k == 2 || k == 3);
+    if (k == 2) ++heavy;
+  }
+  EXPECT_GT(heavy, 1800);
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(29);
+  const auto perm = rng.permutation(20);
+  std::set<std::size_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 20u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 19u);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(31);
+  Rng child = parent.fork();
+  // The fork must not replay the parent's stream.
+  EXPECT_NE(parent.uniform(), child.uniform());
+}
+
+TEST(Stats, MeanVarianceMedian) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(variance(xs), 1.25);
+  EXPECT_DOUBLE_EQ(median(xs), 2.5);
+  const std::vector<double> odd{3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(odd), 2.0);
+}
+
+TEST(Stats, EmptyInputs) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(variance({}), 0.0);
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const std::vector<double> ys{2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  std::vector<double> neg{10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonZeroVariance) {
+  const std::vector<double> xs{1, 1, 1};
+  const std::vector<double> ys{2, 3, 4};
+  EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(Stats, CountOver) {
+  const std::vector<double> xs{0.1, 0.5, 0.9, 0.81};
+  EXPECT_EQ(count_over(xs, 0.8), 2u);
+  EXPECT_EQ(count_over(xs, 0.05), 4u);
+}
+
+TEST(Stats, ArgmaxFirstOfTies) {
+  const std::vector<double> xs{0.2, 0.9, 0.9, 0.1};
+  EXPECT_EQ(argmax(xs), 1u);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  EXPECT_THROW(
+      parallel_for(100,
+                   [&](std::size_t i) {
+                     if (i == 57) throw std::runtime_error("task failed");
+                   }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ZeroAndOneIterations) {
+  int count = 0;
+  parallel_for(0, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count, 0);
+  parallel_for(1, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Table, FormatsAlignedColumns) {
+  TextTable t({"a", "bbbb"});
+  t.add_row({"xx", "y"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| a "), std::string::npos);
+  EXPECT_NE(s.find("| xx "), std::string::npos);
+  EXPECT_THROW(t.add_row({"only-one"}), PreconditionError);
+}
+
+TEST(Table, PercentFormatting) {
+  EXPECT_EQ(fmt_pct(0.7567), "75.67%");
+  EXPECT_EQ(fmt_pct_signed(0.1632), "+16.32%");
+  EXPECT_EQ(fmt_pct_signed(-0.0065), "-0.65%");
+}
+
+}  // namespace
+}  // namespace qucad

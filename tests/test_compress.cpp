@@ -1,0 +1,324 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "compress/admm.hpp"
+#include "compress/compression_table.hpp"
+#include "compress/fine_tune.hpp"
+#include "compress/mask.hpp"
+#include "data/seismic_synth.hpp"
+#include "noise/calibration_history.hpp"
+#include "qnn/evaluator.hpp"
+#include "qnn/trainer.hpp"
+
+namespace qucad {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(CompressionTable, DefaultLevels) {
+  const CompressionTable table;
+  ASSERT_EQ(table.levels().size(), 4u);
+  EXPECT_DOUBLE_EQ(table.levels()[0], 0.0);
+  EXPECT_DOUBLE_EQ(table.levels()[1], kPi / 2.0);
+}
+
+TEST(CompressionTable, NearestOnCircle) {
+  const CompressionTable table;
+  // 0.1 is nearest to level 0.
+  auto n = table.nearest(0.1);
+  EXPECT_NEAR(n.level, 0.0, 1e-12);
+  EXPECT_NEAR(n.distance, 0.1, 1e-12);
+  // 6.2 is nearest to 2*pi (level 0 wrapped); snapped value stays on the
+  // 6.2 branch.
+  n = table.nearest(6.2);
+  EXPECT_NEAR(n.level, 2.0 * kPi, 1e-9);
+  EXPECT_NEAR(n.distance, 2.0 * kPi - 6.2, 1e-9);
+}
+
+TEST(CompressionTable, NegativeAnglesWrap) {
+  const CompressionTable table;
+  const auto n = table.nearest(-0.2);
+  EXPECT_NEAR(n.level, 0.0, 1e-12);
+  EXPECT_NEAR(n.distance, 0.2, 1e-12);
+  const auto m = table.nearest(-kPi / 2.0 - 0.05);
+  EXPECT_NEAR(m.level, -kPi / 2.0, 1e-9);  // 3pi/2 on the negative branch
+  EXPECT_NEAR(m.distance, 0.05, 1e-9);
+}
+
+TEST(CompressionTable, SnappingNeverMovesFartherThanDistance) {
+  const CompressionTable table;
+  for (double t = -7.0; t < 7.0; t += 0.13) {
+    const auto n = table.nearest(t);
+    EXPECT_NEAR(std::abs(t - n.level), n.distance, 1e-9) << t;
+    EXPECT_LE(n.distance, kPi / 4.0 + 1e-9) << t;  // levels are pi/2 apart
+  }
+}
+
+std::vector<GateAssociation> simple_associations(
+    const std::vector<std::pair<int, int>>& qubits) {
+  std::vector<GateAssociation> assoc;
+  for (std::size_t i = 0; i < qubits.size(); ++i) {
+    assoc.push_back({static_cast<int>(i), qubits[i].first, qubits[i].second});
+  }
+  return assoc;
+}
+
+TEST(Mask, NoiseAwarePrioritizesHotEdges) {
+  Calibration cal(3, {{0, 1}, {1, 2}});
+  cal.set_cx_error(0, 1, 0.10);   // hot
+  cal.set_cx_error(1, 2, 0.001);  // cold
+  // Two CR gates at the same distance from a level; only the hot one should
+  // be masked when compressing the top half.
+  const std::vector<double> theta{0.4, 0.4};
+  const auto assoc = simple_associations({{0, 1}, {1, 2}});
+  const MaskInfo info =
+      build_mask(theta, CompressionTable{}, assoc, cal,
+                 CompressionMode::NoiseAware, {MaskPolicy::Kind::TopFraction, 0.5});
+  EXPECT_EQ(info.mask[0], 1);
+  EXPECT_EQ(info.mask[1], 0);
+  EXPECT_GT(info.priority[0], info.priority[1]);
+}
+
+TEST(Mask, NoiseAgnosticPrioritizesSmallDistance) {
+  Calibration cal(3, {{0, 1}, {1, 2}});
+  cal.set_cx_error(0, 1, 0.10);
+  cal.set_cx_error(1, 2, 0.001);
+  // Cold gate is closer to a level; agnostic mode must pick it instead.
+  const std::vector<double> theta{0.6, 0.1};
+  const auto assoc = simple_associations({{0, 1}, {1, 2}});
+  const MaskInfo info =
+      build_mask(theta, CompressionTable{}, assoc, cal,
+                 CompressionMode::NoiseAgnostic,
+                 {MaskPolicy::Kind::TopFraction, 0.5});
+  EXPECT_EQ(info.mask[0], 0);
+  EXPECT_EQ(info.mask[1], 1);
+}
+
+TEST(Mask, ThresholdPolicy) {
+  Calibration cal(2, {{0, 1}});
+  cal.set_cx_error(0, 1, 0.05);
+  const std::vector<double> theta{0.1, 1.0, 0.7853981633974483 + 0.01};
+  const auto assoc = simple_associations({{0, 1}, {0, 1}, {0, 1}});
+  // priorities: 0.05/0.1 = 0.5; 0.05/0.57 ~ 0.09; 0.05/~pi/4 ~ 0.065
+  const MaskInfo info =
+      build_mask(theta, CompressionTable{}, assoc, cal,
+                 CompressionMode::NoiseAware, {MaskPolicy::Kind::Threshold, 0.3});
+  EXPECT_EQ(info.mask[0], 1);
+  EXPECT_EQ(info.mask[1], 0);
+  EXPECT_EQ(info.mask[2], 0);
+  EXPECT_EQ(info.masked_count(), 1u);
+}
+
+TEST(Mask, SingleQubitTargetsAreTableLevels) {
+  Calibration cal(2, {{0, 1}});
+  cal.set_sx_error(0, 3e-4);
+  const std::vector<double> theta{1.5, 3.3, 4.6};
+  // Single-qubit gates (q1 = -1) use the full table.
+  const auto assoc = simple_associations({{0, -1}, {0, -1}, {0, -1}});
+  const MaskInfo info =
+      build_mask(theta, CompressionTable{}, assoc, cal,
+                 CompressionMode::NoiseAware, {MaskPolicy::Kind::TopFraction, 1.0});
+  EXPECT_NEAR(info.target_level[0], kPi / 2.0, 1e-9);
+  EXPECT_NEAR(info.target_level[1], kPi, 1e-9);
+  EXPECT_NEAR(info.target_level[2], 3.0 * kPi / 2.0, 1e-9);
+  EXPECT_EQ(info.masked_count(), 3u);
+}
+
+TEST(Mask, ControlledTargetsAreCxEliminatingLevels) {
+  // CR gates only shorten at multiples of 2*pi; their targets must snap
+  // there, not to pi/2-family levels.
+  Calibration cal(2, {{0, 1}});
+  cal.set_cx_error(0, 1, 0.05);
+  const std::vector<double> theta{1.5, 3.3, 4.6};
+  const auto assoc = simple_associations({{0, 1}, {0, 1}, {0, 1}});
+  const MaskInfo info =
+      build_mask(theta, CompressionTable{}, assoc, cal,
+                 CompressionMode::NoiseAware, {MaskPolicy::Kind::TopFraction, 1.0});
+  EXPECT_NEAR(info.target_level[0], 0.0, 1e-9);
+  EXPECT_NEAR(info.target_level[1], 2.0 * kPi, 1e-9);
+  EXPECT_NEAR(info.target_level[2], 2.0 * kPi, 1e-9);
+  EXPECT_EQ(info.controlled[0], 1);
+  EXPECT_EQ(info.masked_count(), 3u);
+}
+
+TEST(Mask, NearestCompressionLevelHelper) {
+  const CompressionTable table;
+  const auto one_q = nearest_compression_level(1.6, false, table);
+  EXPECT_NEAR(one_q.level, kPi / 2.0, 1e-9);
+  const auto ctrl = nearest_compression_level(1.6, true, table);
+  EXPECT_NEAR(ctrl.level, 0.0, 1e-9);
+  EXPECT_NEAR(ctrl.distance, 1.6, 1e-9);
+  const auto ctrl_high = nearest_compression_level(5.5, true, table);
+  EXPECT_NEAR(ctrl_high.level, 2.0 * kPi, 1e-9);
+}
+
+TEST(Mask, ZeroFractionMasksNothing) {
+  Calibration cal(2, {{0, 1}});
+  const std::vector<double> theta{0.1};
+  const auto assoc = simple_associations({{0, 1}});
+  const MaskInfo info =
+      build_mask(theta, CompressionTable{}, assoc, cal,
+                 CompressionMode::NoiseAware, {MaskPolicy::Kind::TopFraction, 0.0});
+  EXPECT_EQ(info.masked_count(), 0u);
+}
+
+struct CompressFixture {
+  QnnModel model;
+  TranspiledModel transpiled;
+  std::vector<double> theta;
+  Dataset train;
+  Calibration calib;
+
+  CompressFixture()
+      : calib(5, CouplingMap::belem().edges()) {
+    Dataset raw = make_seismic(96, 5);
+    train = FeatureScaler::fit(raw).transform(raw);
+    model = build_paper_model(4, 4, 2, 2);
+    theta = init_params(model, 7);
+    TrainConfig config;
+    config.epochs = 8;
+    train_model(model, theta, train, config);
+
+    const CalibrationHistory h(FluctuationScenario::belem(), 320, 2021);
+    calib = h.day(310);  // <1,2> hot day
+    transpiled = transpile_model(model.circuit, model.readout_qubits,
+                                 CouplingMap::belem(), &calib);
+  }
+};
+
+TEST(Admm, SnapsMaskedParametersExactlyToLevels) {
+  CompressFixture fx;
+  AdmmOptions options;
+  options.iterations = 3;
+  options.epochs_per_iteration = 1;
+  options.finetune_epochs = 1;
+  const CompressedModel compressed = admm_compress(
+      fx.model, fx.transpiled, fx.theta, fx.train, fx.calib, options);
+
+  const CompressionTable table;
+  ASSERT_EQ(compressed.theta.size(), fx.theta.size());
+  std::size_t masked = 0;
+  for (std::size_t i = 0; i < compressed.theta.size(); ++i) {
+    if (!compressed.frozen[i]) continue;
+    ++masked;
+    EXPECT_NEAR(table.nearest(compressed.theta[i]).distance, 0.0, 1e-9)
+        << "param " << i << " not snapped";
+  }
+  EXPECT_GT(masked, 0u);
+}
+
+TEST(Admm, ReducesPhysicalCircuitLength) {
+  CompressFixture fx;
+  AdmmOptions options;
+  options.iterations = 3;
+  options.epochs_per_iteration = 1;
+  options.finetune_epochs = 0;
+  const CompressedModel compressed = admm_compress(
+      fx.model, fx.transpiled, fx.theta, fx.train, fx.calib, options);
+  EXPECT_LT(compressed.cx_after, compressed.cx_before);
+  EXPECT_LE(compressed.pulses_after, compressed.pulses_before);
+  EXPECT_GT(compressed.cx_reduction(), 0.0);
+}
+
+TEST(Admm, NoiseAwareAtLeastMatchesAgnosticAcrossEpisodeDays) {
+  // Fig. 9b's qualitative claim: averaged over heterogeneous-noise days,
+  // noise-aware compression is at least as good as noise-agnostic (they tie
+  // on quiet days). Single days are noisy, so compare means over episodes.
+  CompressFixture fx;
+  const CalibrationHistory h(FluctuationScenario::belem(),
+                             CalibrationHistory::kTotalDays, 2021);
+  const AdmmOptions aware;  // production defaults
+  AdmmOptions agnostic = aware;
+  agnostic.mode = CompressionMode::NoiseAgnostic;
+
+  const Dataset eval = fx.train.take(64);
+  double sum_aware = 0.0, sum_agnostic = 0.0;
+  for (int day : {270, 310, 347}) {
+    const Calibration& calib = h.day(day);
+    const auto m_aware =
+        admm_compress(fx.model, fx.transpiled, fx.theta, fx.train, calib, aware);
+    const auto m_agnostic = admm_compress(fx.model, fx.transpiled, fx.theta,
+                                          fx.train, calib, agnostic);
+    sum_aware +=
+        noisy_accuracy(fx.model, fx.transpiled, m_aware.theta, eval, calib);
+    sum_agnostic +=
+        noisy_accuracy(fx.model, fx.transpiled, m_agnostic.theta, eval, calib);
+  }
+  EXPECT_GE(sum_aware / 3.0, sum_agnostic / 3.0 - 0.05);
+}
+
+TEST(Admm, KeepsFrozenMaskConsistentWithTheta) {
+  CompressFixture fx;
+  AdmmOptions options;
+  options.iterations = 2;
+  options.epochs_per_iteration = 1;
+  options.finetune_epochs = 1;
+  const CompressedModel compressed = admm_compress(
+      fx.model, fx.transpiled, fx.theta, fx.train, fx.calib, options);
+  EXPECT_EQ(compressed.frozen.size(), compressed.theta.size());
+}
+
+TEST(Admm, KeepBestGuardNeverRegressesOnValidation) {
+  // With the guard on, the returned model scores at least as well as the
+  // original on the validation slice under the target calibration.
+  CompressFixture fx;
+  const CalibrationHistory h(FluctuationScenario::belem(),
+                             CalibrationHistory::kTotalDays, 2021);
+  AdmmOptions options;  // keep_best = true by default
+  const Calibration& calib = h.day(270);
+  const CompressedModel cm = admm_compress(fx.model, fx.transpiled, fx.theta,
+                                           fx.train, calib, options);
+  const std::size_t n_val = std::min<std::size_t>(options.validation_samples,
+                                                  fx.train.size());
+  std::vector<std::size_t> tail(n_val);
+  for (std::size_t i = 0; i < n_val; ++i) tail[i] = fx.train.size() - n_val + i;
+  const Dataset validation = fx.train.subset(tail);
+  const double acc_out =
+      noisy_accuracy(fx.model, fx.transpiled, cm.theta, validation, calib);
+  const double acc_orig =
+      noisy_accuracy(fx.model, fx.transpiled, fx.theta, validation, calib);
+  EXPECT_GE(acc_out, acc_orig - 1e-9);
+}
+
+TEST(Admm, GuardDisabledAlwaysReturnsCompressedModel) {
+  CompressFixture fx;
+  AdmmOptions options;
+  options.keep_best = false;
+  options.policy = {MaskPolicy::Kind::TopFraction, 0.3};
+  const CompressedModel cm = admm_compress(fx.model, fx.transpiled, fx.theta,
+                                           fx.train, fx.calib, options);
+  EXPECT_FALSE(cm.kept_original);
+  EXPECT_LT(cm.cx_after, cm.cx_before);
+  // At least one parameter actually sits at a compression level.
+  EXPECT_GT(std::count(cm.frozen.begin(), cm.frozen.end(), 1), 0);
+}
+
+TEST(FineTune, FrozenParametersSurviveNoiseInjectedTraining) {
+  CompressFixture fx;
+  std::vector<double> theta = fx.theta;
+  NoiseAwareTrainOptions options;
+  options.epochs = 1;
+  options.frozen.assign(theta.size(), 0);
+  options.frozen[3] = 1;
+  options.frozen[40] = 1;
+  const std::vector<double> original = theta;
+  noise_aware_train(fx.model, fx.transpiled, theta, fx.train, fx.calib, options);
+  EXPECT_DOUBLE_EQ(theta[3], original[3]);
+  EXPECT_DOUBLE_EQ(theta[40], original[40]);
+}
+
+TEST(FineTune, NoiseAwareTrainingImprovesNoisyLoss) {
+  CompressFixture fx;
+  std::vector<double> theta = fx.theta;
+  NoiseAwareTrainOptions options;
+  options.epochs = 3;
+  const TrainResult result = noise_aware_train(fx.model, fx.transpiled, theta,
+                                               fx.train, fx.calib, options);
+  EXPECT_FALSE(result.epoch_losses.empty());
+  // Losses should not blow up; typically they decrease.
+  EXPECT_LE(result.epoch_losses.back(), result.epoch_losses.front() + 0.15);
+}
+
+}  // namespace
+}  // namespace qucad

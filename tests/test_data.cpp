@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/require.hpp"
+#include "common/stats.hpp"
+#include "data/iris_synth.hpp"
+#include "data/mnist_synth.hpp"
+#include "data/seismic_synth.hpp"
+
+namespace qucad {
+namespace {
+
+TEST(Dataset, SubsetAndTake) {
+  Dataset d;
+  d.num_classes = 2;
+  for (int i = 0; i < 10; ++i) {
+    d.features.push_back({static_cast<double>(i)});
+    d.labels.push_back(i % 2);
+  }
+  const Dataset sub = d.subset({1, 3, 5});
+  EXPECT_EQ(sub.size(), 3u);
+  EXPECT_DOUBLE_EQ(sub.features[2][0], 5.0);
+  const Dataset head = d.take(4);
+  EXPECT_EQ(head.size(), 4u);
+  EXPECT_THROW(d.subset({99}), PreconditionError);
+}
+
+TEST(Dataset, SplitPreservesOrderWithoutShuffle) {
+  Dataset d;
+  d.num_classes = 2;
+  for (int i = 0; i < 100; ++i) {
+    d.features.push_back({static_cast<double>(i)});
+    d.labels.push_back(i % 2);
+  }
+  const TrainTestSplit split = split_dataset(d, 0.1);
+  EXPECT_EQ(split.train.size(), 90u);
+  EXPECT_EQ(split.test.size(), 10u);
+  EXPECT_DOUBLE_EQ(split.train.features[0][0], 0.0);
+  EXPECT_DOUBLE_EQ(split.test.features[0][0], 90.0);
+}
+
+TEST(Dataset, ShuffledSplitIsDeterministicPerSeed) {
+  Dataset d;
+  d.num_classes = 2;
+  for (int i = 0; i < 50; ++i) {
+    d.features.push_back({static_cast<double>(i)});
+    d.labels.push_back(i % 2);
+  }
+  const auto a = split_dataset(d, 0.2, 7, true);
+  const auto b = split_dataset(d, 0.2, 7, true);
+  EXPECT_EQ(a.train.features, b.train.features);
+  const auto c = split_dataset(d, 0.2, 8, true);
+  EXPECT_NE(a.train.features, c.train.features);
+}
+
+TEST(FeatureScaler, MapsTrainRangeToAngles) {
+  Dataset d;
+  d.num_classes = 2;
+  d.features = {{0.0, -5.0}, {10.0, 5.0}, {5.0, 0.0}};
+  d.labels = {0, 1, 0};
+  const FeatureScaler scaler = FeatureScaler::fit(d, 0.0, M_PI);
+  const Dataset scaled = scaler.transform(d);
+  EXPECT_DOUBLE_EQ(scaled.features[0][0], 0.0);
+  EXPECT_DOUBLE_EQ(scaled.features[1][0], M_PI);
+  EXPECT_DOUBLE_EQ(scaled.features[2][0], M_PI / 2.0);
+  EXPECT_DOUBLE_EQ(scaled.features[2][1], M_PI / 2.0);
+}
+
+TEST(FeatureScaler, ClampsOutOfRangeTestValues) {
+  Dataset train;
+  train.num_classes = 2;
+  train.features = {{0.0}, {1.0}};
+  train.labels = {0, 1};
+  const FeatureScaler scaler = FeatureScaler::fit(train, 0.0, 1.0);
+  Dataset test = train;
+  test.features = {{-5.0}, {7.0}};
+  const Dataset scaled = scaler.transform(test);
+  EXPECT_DOUBLE_EQ(scaled.features[0][0], 0.0);
+  EXPECT_DOUBLE_EQ(scaled.features[1][0], 1.0);
+}
+
+TEST(FeatureScaler, DegenerateDimensionDoesNotDivideByZero) {
+  Dataset d;
+  d.num_classes = 2;
+  d.features = {{3.0}, {3.0}};
+  d.labels = {0, 1};
+  const FeatureScaler scaler = FeatureScaler::fit(d);
+  const Dataset scaled = scaler.transform(d);
+  EXPECT_TRUE(std::isfinite(scaled.features[0][0]));
+}
+
+TEST(AccuracyScore, CountsMatches) {
+  EXPECT_DOUBLE_EQ(accuracy_score({0, 1, 1, 0}, {0, 1, 0, 0}), 0.75);
+  EXPECT_THROW(accuracy_score({0}, {0, 1}), PreconditionError);
+}
+
+TEST(Mnist4, ShapeAndDeterminism) {
+  const Dataset a = make_mnist4(200, 3);
+  EXPECT_EQ(a.size(), 200u);
+  EXPECT_EQ(a.num_features(), 16u);
+  EXPECT_EQ(a.num_classes, 4);
+  const Dataset b = make_mnist4(200, 3);
+  EXPECT_EQ(a.features, b.features);
+  const Dataset c = make_mnist4(200, 4);
+  EXPECT_NE(a.features, c.features);
+}
+
+TEST(Mnist4, BalancedClassesAndPixelRange) {
+  const Dataset d = make_mnist4(400, 5);
+  const auto counts = d.class_counts();
+  for (std::size_t c = 0; c < 4; ++c) EXPECT_EQ(counts[c], 100u);
+  for (const auto& row : d.features) {
+    for (double p : row) {
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0);
+    }
+  }
+}
+
+TEST(Mnist4, ClassesAreDistinguishable) {
+  // Nearest-prototype accuracy on clean means should beat chance by a lot.
+  const Dataset d = make_mnist4(400, 7);
+  // Compute class means from the first half, classify the second half.
+  std::vector<std::vector<double>> means(4, std::vector<double>(16, 0.0));
+  std::vector<int> counts(4, 0);
+  for (std::size_t i = 0; i < 200; ++i) {
+    for (std::size_t j = 0; j < 16; ++j) {
+      means[static_cast<std::size_t>(d.labels[i])][j] += d.features[i][j];
+    }
+    ++counts[static_cast<std::size_t>(d.labels[i])];
+  }
+  for (std::size_t c = 0; c < 4; ++c) {
+    for (double& v : means[c]) v /= counts[c];
+  }
+  int correct = 0;
+  for (std::size_t i = 200; i < 400; ++i) {
+    double best = 1e18;
+    int best_c = -1;
+    for (int c = 0; c < 4; ++c) {
+      double dist = 0.0;
+      for (std::size_t j = 0; j < 16; ++j) {
+        const double delta = d.features[i][j] - means[static_cast<std::size_t>(c)][j];
+        dist += delta * delta;
+      }
+      if (dist < best) {
+        best = dist;
+        best_c = c;
+      }
+    }
+    if (best_c == d.labels[i]) ++correct;
+  }
+  EXPECT_GT(correct, 150);  // >75% vs 25% chance
+}
+
+TEST(Iris, ShapeAndClassStructure) {
+  const Dataset d = make_iris(150, 7);
+  EXPECT_EQ(d.size(), 150u);
+  EXPECT_EQ(d.num_features(), 4u);
+  EXPECT_EQ(d.num_classes, 3);
+  const auto counts = d.class_counts();
+  EXPECT_EQ(counts[0], 50u);
+  // Setosa (class 0) has much smaller petal length (feature 2).
+  double setosa_petal = 0.0, virginica_petal = 0.0;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    if (d.labels[i] == 0) setosa_petal += d.features[i][2];
+    if (d.labels[i] == 2) virginica_petal += d.features[i][2];
+  }
+  EXPECT_LT(setosa_petal / 50.0, 2.0);
+  EXPECT_GT(virginica_petal / 50.0, 4.5);
+}
+
+TEST(Seismic, ShapeAndDeterminism) {
+  const Dataset a = make_seismic(100, 11);
+  EXPECT_EQ(a.size(), 100u);
+  EXPECT_EQ(a.num_features(), 4u);
+  EXPECT_EQ(a.num_classes, 2);
+  const Dataset b = make_seismic(100, 11);
+  EXPECT_EQ(a.features, b.features);
+}
+
+TEST(Seismic, EventsCarryMoreEnergy) {
+  const Dataset d = make_seismic(400, 13);
+  double event_energy = 0.0, noise_energy = 0.0;
+  int ne = 0, nn = 0;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    if (d.labels[i] == 1) {
+      event_energy += d.features[i][1];
+      ++ne;
+    } else {
+      noise_energy += d.features[i][1];
+      ++nn;
+    }
+  }
+  EXPECT_GT(event_energy / ne, noise_energy / nn);
+}
+
+TEST(Seismic, StaLtaDetectsOnset) {
+  Rng rng(3);
+  const auto with_event = synth_waveform(true, rng, 12.0);
+  const auto without = synth_waveform(false, rng, 12.0);
+  const auto f_event = seismic_features(with_event);
+  const auto f_noise = seismic_features(without);
+  EXPECT_GT(f_event[0], f_noise[0]);  // STA/LTA ratio
+}
+
+TEST(Seismic, FeatureExtractionRejectsShortTraces) {
+  EXPECT_THROW(seismic_features(std::vector<double>(10, 0.0)), PreconditionError);
+}
+
+}  // namespace
+}  // namespace qucad

@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/gates.hpp"
+#include "noise/channels.hpp"
+#include "sim/density_matrix.hpp"
+
+namespace qucad {
+namespace {
+
+constexpr double kTol = 1e-10;
+
+TEST(DensityMatrix, PureStateMatchesStateVector) {
+  Circuit c(3);
+  c.h(0).cx(0, 1).ry(2, 0.7).crz(1, 2, 1.1);
+
+  StateVector sv(3);
+  sv.run(c);
+  DensityMatrix from_sv = DensityMatrix::from_statevector(sv);
+
+  DensityMatrix dm(3);
+  dm.run(c);
+
+  for (std::size_t i = 0; i < dm.data().size(); ++i) {
+    EXPECT_NEAR(std::abs(dm.data()[i] - from_sv.data()[i]), 0.0, kTol);
+  }
+  EXPECT_NEAR(dm.purity(), 1.0, kTol);
+  EXPECT_NEAR(dm.trace_real(), 1.0, kTol);
+}
+
+TEST(DensityMatrix, ExpectationsMatchStateVector) {
+  Circuit c(3);
+  c.ry(0, 0.4).cry(0, 1, 1.2).rx(2, 2.2).crx(2, 0, 0.5);
+  StateVector sv(3);
+  sv.run(c);
+  DensityMatrix dm(3);
+  dm.run(c);
+  for (int q = 0; q < 3; ++q) {
+    EXPECT_NEAR(dm.expectation_z(q), sv.expectation_z(q), kTol);
+  }
+}
+
+TEST(DensityMatrix, DepolarizingDrivesToMaximallyMixed) {
+  DensityMatrix dm(1);
+  dm.apply_depolarizing1(0, 1.0);
+  EXPECT_NEAR(dm.data()[0].real(), 0.5, kTol);
+  EXPECT_NEAR(dm.data()[3].real(), 0.5, kTol);
+  EXPECT_NEAR(std::abs(dm.data()[1]), 0.0, kTol);
+  EXPECT_NEAR(dm.purity(), 0.5, kTol);
+}
+
+TEST(DensityMatrix, DepolarizingFastPathMatchesKraus) {
+  const double p = 0.13;
+  Circuit prep(2);
+  prep.h(0).cry(0, 1, 0.9).rz(1, 0.4);
+
+  DensityMatrix fast(2), slow(2);
+  fast.run(prep);
+  slow.run(prep);
+
+  fast.apply_depolarizing1(1, p);
+  const Kraus1 ch = channels::depolarizing1(p);
+  std::vector<std::array<cplx, 4>> ops(ch.ops.begin(), ch.ops.end());
+  slow.apply_kraus1(1, ops);
+
+  for (std::size_t i = 0; i < fast.data().size(); ++i) {
+    EXPECT_NEAR(std::abs(fast.data()[i] - slow.data()[i]), 0.0, kTol);
+  }
+}
+
+TEST(DensityMatrix, Depolarizing2FastPathMatchesKraus) {
+  const double p = 0.21;
+  Circuit prep(3);
+  prep.h(0).cx(0, 1).ry(2, 1.3).crz(2, 0, 0.7);
+
+  DensityMatrix fast(3), slow(3);
+  fast.run(prep);
+  slow.run(prep);
+
+  fast.apply_depolarizing2(0, 2, p);
+  const Kraus2 ch = channels::depolarizing2(p);
+  std::vector<std::array<cplx, 16>> ops(ch.ops.begin(), ch.ops.end());
+  slow.apply_kraus2(0, 2, ops);
+
+  for (std::size_t i = 0; i < fast.data().size(); ++i) {
+    EXPECT_NEAR(std::abs(fast.data()[i] - slow.data()[i]), 0.0, kTol);
+  }
+}
+
+TEST(DensityMatrix, AmplitudeDampingFixedPoint) {
+  // Full damping sends |1> to |0>.
+  DensityMatrix dm(1);
+  dm.apply1(0, as_array2(gates::X()));
+  const Kraus1 ch = channels::amplitude_damping(1.0);
+  std::vector<std::array<cplx, 4>> ops(ch.ops.begin(), ch.ops.end());
+  dm.apply_kraus1(0, ops);
+  EXPECT_NEAR(dm.data()[0].real(), 1.0, kTol);
+  EXPECT_NEAR(dm.data()[3].real(), 0.0, kTol);
+}
+
+TEST(DensityMatrix, PhaseDampingKillsCoherence) {
+  DensityMatrix dm(1);
+  dm.apply1(0, as_array2(gates::H()));
+  EXPECT_NEAR(std::abs(dm.data()[1]), 0.5, kTol);
+  const Kraus1 ch = channels::phase_damping(1.0);
+  std::vector<std::array<cplx, 4>> ops(ch.ops.begin(), ch.ops.end());
+  dm.apply_kraus1(0, ops);
+  EXPECT_NEAR(std::abs(dm.data()[1]), 0.0, kTol);
+  EXPECT_NEAR(dm.data()[0].real(), 0.5, kTol);  // populations preserved
+}
+
+TEST(DensityMatrix, TracePreservedUnderAllChannels) {
+  Circuit prep(2);
+  prep.h(0).cx(0, 1).ry(1, 0.9);
+  DensityMatrix dm(2);
+  dm.run(prep);
+
+  dm.apply_depolarizing1(0, 0.1);
+  dm.apply_depolarizing2(0, 1, 0.15);
+  const Kraus1 thermal = channels::thermal_relaxation(100.0, 80.0, 0.3);
+  std::vector<std::array<cplx, 4>> ops(thermal.ops.begin(), thermal.ops.end());
+  dm.apply_kraus1(1, ops);
+  EXPECT_NEAR(dm.trace_real(), 1.0, 1e-9);
+}
+
+TEST(DensityMatrix, PurityDecreasesUnderNoise) {
+  Circuit prep(2);
+  prep.h(0).cx(0, 1);
+  DensityMatrix dm(2);
+  dm.run(prep);
+  const double pure = dm.purity();
+  dm.apply_depolarizing2(0, 1, 0.3);
+  EXPECT_LT(dm.purity(), pure);
+}
+
+TEST(DensityMatrix, DiagonalProbabilitiesSumToOne) {
+  Circuit prep(3);
+  prep.h(0).cry(0, 1, 0.8).crx(1, 2, 1.9);
+  DensityMatrix dm(3);
+  dm.run(prep);
+  dm.apply_depolarizing1(2, 0.2);
+  const auto probs = dm.diagonal_probabilities();
+  double total = 0.0;
+  for (double p : probs) {
+    EXPECT_GE(p, -1e-12);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ReadoutError, ConfusionMatrixApplied) {
+  // Single qubit in |0>: P(read 1) = p1_given_0.
+  std::vector<double> probs{1.0, 0.0};
+  const std::vector<ReadoutError> errors{{0.1, 0.2}};
+  const auto noisy = apply_readout_error(probs, errors);
+  EXPECT_NEAR(noisy[0], 0.9, kTol);
+  EXPECT_NEAR(noisy[1], 0.1, kTol);
+
+  // Single qubit in |1>: P(read 0) = p0_given_1.
+  std::vector<double> one{0.0, 1.0};
+  const auto noisy1 = apply_readout_error(one, errors);
+  EXPECT_NEAR(noisy1[0], 0.2, kTol);
+  EXPECT_NEAR(noisy1[1], 0.8, kTol);
+}
+
+TEST(ReadoutError, MultiQubitIndependence) {
+  // Two qubits both in |0>, only qubit 1 has error.
+  std::vector<double> probs{1.0, 0.0, 0.0, 0.0};
+  const std::vector<ReadoutError> errors{{0.0, 0.0}, {0.25, 0.0}};
+  const auto noisy = apply_readout_error(probs, errors);
+  EXPECT_NEAR(noisy[0], 0.75, kTol);
+  EXPECT_NEAR(noisy[2], 0.25, kTol);
+  EXPECT_NEAR(noisy[1], 0.0, kTol);
+}
+
+TEST(Channels, AllFactoriesAreCptp) {
+  for (double p : {0.0, 0.05, 0.3, 1.0}) {
+    EXPECT_TRUE(channels::depolarizing1(p).is_cptp()) << p;
+    EXPECT_TRUE(channels::depolarizing2(p).is_cptp()) << p;
+    EXPECT_TRUE(channels::bit_flip(p).is_cptp()) << p;
+    EXPECT_TRUE(channels::phase_flip(p).is_cptp()) << p;
+    EXPECT_TRUE(channels::amplitude_damping(p).is_cptp()) << p;
+    EXPECT_TRUE(channels::phase_damping(p).is_cptp()) << p;
+  }
+}
+
+TEST(Channels, ThermalRelaxationCptpAndPruned) {
+  const Kraus1 ch = channels::thermal_relaxation(120.0, 70.0, 0.3);
+  EXPECT_TRUE(ch.is_cptp());
+  // Composition of amplitude (2) and phase (2) damping prunes the zero
+  // product: at most 3 operators survive.
+  EXPECT_LE(ch.ops.size(), 3u);
+}
+
+TEST(Channels, ComposeMatchesSequentialApplication) {
+  Circuit prep(1);
+  prep.h(0);
+  DensityMatrix composed(1), sequential(1);
+  composed.run(prep);
+  sequential.run(prep);
+
+  const Kraus1 a = channels::amplitude_damping(0.3);
+  const Kraus1 b = channels::phase_damping(0.4);
+  const Kraus1 ab = channels::compose(a, b);
+  EXPECT_TRUE(ab.is_cptp());
+
+  std::vector<std::array<cplx, 4>> ops_ab(ab.ops.begin(), ab.ops.end());
+  composed.apply_kraus1(0, ops_ab);
+
+  std::vector<std::array<cplx, 4>> ops_a(a.ops.begin(), a.ops.end());
+  std::vector<std::array<cplx, 4>> ops_b(b.ops.begin(), b.ops.end());
+  sequential.apply_kraus1(0, ops_a);
+  sequential.apply_kraus1(0, ops_b);
+
+  for (std::size_t i = 0; i < composed.data().size(); ++i) {
+    EXPECT_NEAR(std::abs(composed.data()[i] - sequential.data()[i]), 0.0, kTol);
+  }
+}
+
+TEST(Channels, TensorActsOnCorrectQubits) {
+  // amplitude damping on the pair's first qubit only.
+  const Kraus2 ch = channels::tensor(channels::amplitude_damping(1.0),
+                                     channels::identity1());
+  EXPECT_TRUE(ch.is_cptp());
+  DensityMatrix dm(2);
+  Circuit prep(2);
+  prep.x(0).x(1);  // |11>
+  dm.run(prep);
+  std::vector<std::array<cplx, 16>> ops(ch.ops.begin(), ch.ops.end());
+  dm.apply_kraus2(0, 1, ops);  // first = q0
+  // q0 damped to |0>, q1 untouched.
+  EXPECT_NEAR(dm.expectation_z(0), 1.0, kTol);
+  EXPECT_NEAR(dm.expectation_z(1), -1.0, kTol);
+}
+
+}  // namespace
+}  // namespace qucad

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "linalg/gates.hpp"
+#include "linalg/matrix.hpp"
+
+namespace qucad {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+TEST(CMat, IdentityAndZeros) {
+  const CMat id = CMat::identity(3);
+  EXPECT_DOUBLE_EQ(id(0, 0).real(), 1.0);
+  EXPECT_DOUBLE_EQ(id(0, 1).real(), 0.0);
+  EXPECT_DOUBLE_EQ(id.trace().real(), 3.0);
+  const CMat z = CMat::zeros(2, 4);
+  EXPECT_DOUBLE_EQ(z.frobenius_norm(), 0.0);
+}
+
+TEST(CMat, MatmulAgainstHand) {
+  const CMat a(2, 2, {1, 2, 3, 4});
+  const CMat b(2, 2, {5, 6, 7, 8});
+  const CMat c = a * b;
+  EXPECT_NEAR(std::abs(c(0, 0) - cplx{19, 0}), 0.0, kTol);
+  EXPECT_NEAR(std::abs(c(0, 1) - cplx{22, 0}), 0.0, kTol);
+  EXPECT_NEAR(std::abs(c(1, 0) - cplx{43, 0}), 0.0, kTol);
+  EXPECT_NEAR(std::abs(c(1, 1) - cplx{50, 0}), 0.0, kTol);
+}
+
+TEST(CMat, DaggerConjugatesAndTransposes) {
+  const CMat m(2, 2, {cplx{1, 2}, cplx{3, 4}, cplx{5, 6}, cplx{7, 8}});
+  const CMat d = m.dagger();
+  EXPECT_EQ(d(0, 1), (cplx{5, -6}));
+  EXPECT_EQ(d(1, 0), (cplx{3, -4}));
+}
+
+TEST(CMat, ApplyMatchesMatmul) {
+  const CMat m(2, 2, {1, 2, 3, 4});
+  const std::vector<cplx> v{cplx{1, 0}, cplx{0, 1}};
+  const auto out = m.apply(v);
+  EXPECT_NEAR(std::abs(out[0] - (cplx{1, 2})), 0.0, kTol);
+  EXPECT_NEAR(std::abs(out[1] - (cplx{3, 4})), 0.0, kTol);
+}
+
+TEST(Kron, TwoByTwo) {
+  const CMat k = kron(gates::X(), gates::I());
+  // X (x) I swaps the high bit.
+  EXPECT_DOUBLE_EQ(k(0, 2).real(), 1.0);
+  EXPECT_DOUBLE_EQ(k(1, 3).real(), 1.0);
+  EXPECT_DOUBLE_EQ(k(2, 0).real(), 1.0);
+  EXPECT_DOUBLE_EQ(k(0, 0).real(), 0.0);
+}
+
+TEST(Gates, AllFixedGatesAreUnitary) {
+  for (const CMat& g : {gates::I(), gates::X(), gates::Y(), gates::Z(),
+                        gates::H(), gates::S(), gates::T(), gates::SX(),
+                        gates::SXdg()}) {
+    EXPECT_TRUE(g.is_unitary(1e-12));
+  }
+  for (const CMat& g : {gates::CX(), gates::CZ(), gates::SWAP()}) {
+    EXPECT_TRUE(g.is_unitary(1e-12));
+  }
+}
+
+TEST(Gates, RotationsAreUnitaryAcrossAngles) {
+  for (double theta : {-2.0, -0.3, 0.0, 0.7, 1.57, 3.14159, 6.0}) {
+    EXPECT_TRUE(gates::RX(theta).is_unitary(1e-12));
+    EXPECT_TRUE(gates::RY(theta).is_unitary(1e-12));
+    EXPECT_TRUE(gates::RZ(theta).is_unitary(1e-12));
+    EXPECT_TRUE(gates::CRX(theta).is_unitary(1e-12));
+    EXPECT_TRUE(gates::CRY(theta).is_unitary(1e-12));
+    EXPECT_TRUE(gates::CRZ(theta).is_unitary(1e-12));
+  }
+}
+
+TEST(Gates, PauliAlgebra) {
+  // HXH = Z, HZH = X, XYX = -Y, S^2 = Z
+  EXPECT_LT((gates::H() * gates::X() * gates::H()).max_abs_diff(gates::Z()), kTol);
+  EXPECT_LT((gates::H() * gates::Z() * gates::H()).max_abs_diff(gates::X()), kTol);
+  EXPECT_LT((gates::X() * gates::Y() * gates::X()).max_abs_diff(
+                gates::Y() * cplx{-1.0, 0.0}),
+            kTol);
+  EXPECT_LT((gates::S() * gates::S()).max_abs_diff(gates::Z()), kTol);
+}
+
+TEST(Gates, SxSquaredIsX) {
+  EXPECT_LT((gates::SX() * gates::SX()).max_abs_diff(gates::X()), kTol);
+}
+
+TEST(Gates, RotationComposition) {
+  // R(a) * R(b) = R(a+b) for each axis.
+  for (double a : {0.3, 1.2}) {
+    for (double b : {-0.8, 2.1}) {
+      EXPECT_LT((gates::RX(a) * gates::RX(b)).max_abs_diff(gates::RX(a + b)), kTol);
+      EXPECT_LT((gates::RY(a) * gates::RY(b)).max_abs_diff(gates::RY(a + b)), kTol);
+      EXPECT_LT((gates::RZ(a) * gates::RZ(b)).max_abs_diff(gates::RZ(a + b)), kTol);
+    }
+  }
+}
+
+TEST(Gates, RotationsAtTwoPiAreMinusIdentity) {
+  const CMat minus_id = CMat::identity(2) * cplx{-1.0, 0.0};
+  EXPECT_LT(gates::RX(2 * M_PI).max_abs_diff(minus_id), 1e-10);
+  EXPECT_LT(gates::RY(2 * M_PI).max_abs_diff(minus_id), 1e-10);
+  EXPECT_LT(gates::RZ(2 * M_PI).max_abs_diff(minus_id), 1e-10);
+}
+
+TEST(Gates, ControlledBlockStructure) {
+  const CMat cry = gates::CRY(0.9);
+  // Control-0 block is identity.
+  EXPECT_NEAR(std::abs(cry(0, 0) - cplx{1, 0}), 0.0, kTol);
+  EXPECT_NEAR(std::abs(cry(1, 1) - cplx{1, 0}), 0.0, kTol);
+  EXPECT_NEAR(std::abs(cry(0, 2)), 0.0, kTol);
+  // Control-1 block is RY(0.9).
+  const CMat ry = gates::RY(0.9);
+  EXPECT_NEAR(std::abs(cry(2, 2) - ry(0, 0)), 0.0, kTol);
+  EXPECT_NEAR(std::abs(cry(3, 2) - ry(1, 0)), 0.0, kTol);
+}
+
+TEST(Gates, U3Specializations) {
+  EXPECT_LT(gates::U3(0.7, 0.0, 0.0).max_abs_diff(gates::RY(0.7)), kTol);
+  EXPECT_LT(gates::U3(0.7, -M_PI / 2, M_PI / 2).max_abs_diff(gates::RX(0.7)), kTol);
+}
+
+TEST(VectorOps, InnerAndNorm) {
+  const std::vector<cplx> a{cplx{1, 0}, cplx{0, 1}};
+  const std::vector<cplx> b{cplx{0, 1}, cplx{1, 0}};
+  // <a|b> = conj(1)*i + conj(i)*1 = i - i = 0
+  EXPECT_NEAR(std::abs(inner(a, b)), 0.0, kTol);
+  EXPECT_NEAR(norm(a), std::sqrt(2.0), kTol);
+}
+
+TEST(VectorOps, GlobalPhaseEquality) {
+  const std::vector<cplx> a{cplx{1, 0}, cplx{0, 0.5}};
+  std::vector<cplx> b = a;
+  const cplx phase = std::exp(cplx{0, 1.234});
+  for (cplx& v : b) v *= phase;
+  EXPECT_TRUE(equal_up_to_global_phase(a, b));
+  b[0] += 0.1;
+  EXPECT_FALSE(equal_up_to_global_phase(a, b));
+}
+
+TEST(CMat, HermitianCheck) {
+  EXPECT_TRUE(gates::X().is_hermitian());
+  EXPECT_TRUE(gates::Y().is_hermitian());
+  EXPECT_FALSE(gates::S().is_hermitian());
+}
+
+TEST(CMat, ShapeMismatchThrows) {
+  const CMat a(2, 2);
+  const CMat b(3, 3);
+  EXPECT_THROW(a + b, PreconditionError);
+  EXPECT_THROW(a * b, PreconditionError);
+}
+
+}  // namespace
+}  // namespace qucad

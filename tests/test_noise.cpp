@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+#include "noise/calibration.hpp"
+#include "noise/noise_model.hpp"
+
+namespace qucad {
+namespace {
+
+Calibration make_test_calibration() {
+  Calibration cal(3, {{0, 1}, {1, 2}});
+  cal.set_sx_error(0, 1e-4);
+  cal.set_sx_error(1, 2e-4);
+  cal.set_sx_error(2, 3e-4);
+  cal.set_cx_error(0, 1, 0.01);
+  cal.set_cx_error(1, 2, 0.02);
+  cal.set_readout(0, {0.02, 0.03});
+  cal.set_readout(1, {0.01, 0.015});
+  cal.set_t1_t2(0, 120.0, 100.0);
+  return cal;
+}
+
+TEST(Calibration, AccessorsRoundTrip) {
+  const Calibration cal = make_test_calibration();
+  EXPECT_DOUBLE_EQ(cal.sx_error(1), 2e-4);
+  EXPECT_DOUBLE_EQ(cal.cx_error(0, 1), 0.01);
+  EXPECT_DOUBLE_EQ(cal.cx_error(1, 0), 0.01);  // order-insensitive
+  EXPECT_DOUBLE_EQ(cal.readout(0).p1_given_0, 0.02);
+  EXPECT_DOUBLE_EQ(cal.t1_us(0), 120.0);
+}
+
+TEST(Calibration, RejectsInvalidValues) {
+  Calibration cal(2, {{0, 1}});
+  EXPECT_THROW(cal.set_sx_error(5, 0.1), PreconditionError);
+  EXPECT_THROW(cal.set_sx_error(0, 1.5), PreconditionError);
+  EXPECT_THROW(cal.set_cx_error(0, 0, 0.1), PreconditionError);
+  EXPECT_THROW(cal.set_t1_t2(0, 100.0, 250.0), PreconditionError);  // T2>2T1
+  EXPECT_THROW(cal.cx_error(0, 5), PreconditionError);
+}
+
+TEST(Calibration, NoiseOfDispatchesByArity) {
+  const Calibration cal = make_test_calibration();
+  EXPECT_DOUBLE_EQ(cal.noise_of(2), 3e-4);
+  EXPECT_DOUBLE_EQ(cal.noise_of(1, 2), 0.02);
+}
+
+TEST(Calibration, UncoupledPairThrows) {
+  const Calibration cal = make_test_calibration();
+  EXPECT_EQ(cal.edge_index(0, 2), -1);
+  EXPECT_THROW(cal.cx_error(0, 2), PreconditionError);
+}
+
+TEST(Calibration, FeatureVectorLayoutAndNames) {
+  const Calibration cal = make_test_calibration();
+  const auto f = cal.feature_vector();
+  const auto names = cal.feature_names();
+  ASSERT_EQ(f.size(), 8u);  // 3 sx + 3 ro + 2 cx
+  ASSERT_EQ(names.size(), 8u);
+  EXPECT_DOUBLE_EQ(f[0], 1e-4);
+  EXPECT_EQ(names[0], "sx0");
+  EXPECT_DOUBLE_EQ(f[3], 0.025);  // mean readout of q0
+  EXPECT_EQ(names[3], "ro0");
+  EXPECT_DOUBLE_EQ(f[6], 0.01);
+  EXPECT_EQ(names[6], "cx0_1");
+}
+
+TEST(Calibration, FromFeaturesRoundTrip) {
+  const Calibration cal = make_test_calibration();
+  const auto f = cal.feature_vector();
+  const Calibration rebuilt =
+      Calibration::from_features(3, {{0, 1}, {1, 2}}, f, 110.0, 90.0);
+  EXPECT_DOUBLE_EQ(rebuilt.sx_error(2), cal.sx_error(2));
+  EXPECT_DOUBLE_EQ(rebuilt.cx_error(1, 2), cal.cx_error(1, 2));
+  EXPECT_DOUBLE_EQ(rebuilt.readout(0).p1_given_0, 0.025);  // symmetrized
+  EXPECT_DOUBLE_EQ(rebuilt.t1_us(0), 110.0);
+}
+
+TEST(Calibration, FromFeaturesClampsNegatives) {
+  std::vector<double> f(8, -0.5);
+  const Calibration rebuilt =
+      Calibration::from_features(3, {{0, 1}, {1, 2}}, f, 100.0, 80.0);
+  EXPECT_DOUBLE_EQ(rebuilt.sx_error(0), 0.0);
+  EXPECT_DOUBLE_EQ(rebuilt.cx_error(0, 1), 0.0);
+}
+
+TEST(NoiseModel, BuildsChannelsFromCalibration) {
+  const Calibration cal = make_test_calibration();
+  const NoiseModel nm(cal);
+  EXPECT_EQ(nm.num_qubits(), 3);
+  EXPECT_FALSE(nm.is_noiseless());
+  EXPECT_DOUBLE_EQ(nm.pulse_noise(0).depolarizing_p, 1e-4);
+  EXPECT_DOUBLE_EQ(nm.cx_noise(1, 2).depolarizing_p, 0.02);
+  EXPECT_DOUBLE_EQ(nm.cx_noise(2, 1).depolarizing_p, 0.02);
+  EXPECT_FALSE(nm.pulse_noise(0).thermal.empty());
+  EXPECT_THROW(nm.cx_noise(0, 2), PreconditionError);
+}
+
+TEST(NoiseModel, ThermalCanBeDisabled) {
+  const Calibration cal = make_test_calibration();
+  NoiseModelOptions options;
+  options.include_thermal_relaxation = false;
+  const NoiseModel nm(cal, options);
+  EXPECT_TRUE(nm.pulse_noise(0).thermal.empty());
+  EXPECT_TRUE(nm.cx_noise(0, 1).thermal_first.empty());
+}
+
+TEST(NoiseModel, ReadoutCanBeDisabled) {
+  const Calibration cal = make_test_calibration();
+  NoiseModelOptions options;
+  options.include_readout_error = false;
+  const NoiseModel nm(cal, options);
+  EXPECT_DOUBLE_EQ(nm.readout()[0].p1_given_0, 0.0);
+}
+
+TEST(NoiseModel, ZeroCalibrationWithoutThermalIsNoiseless) {
+  Calibration cal(2, {{0, 1}});
+  NoiseModelOptions options;
+  options.include_thermal_relaxation = false;
+  options.include_readout_error = false;
+  const NoiseModel nm(cal, options);
+  EXPECT_TRUE(nm.is_noiseless());
+}
+
+}  // namespace
+}  // namespace qucad

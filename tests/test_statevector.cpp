@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "linalg/gates.hpp"
+#include "sim/statevector.hpp"
+
+namespace qucad {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+TEST(StateVector, StartsInZero) {
+  StateVector sv(3);
+  EXPECT_EQ(sv.dim(), 8u);
+  EXPECT_NEAR(std::abs(sv.amplitudes()[0] - cplx{1, 0}), 0.0, kTol);
+  EXPECT_NEAR(sv.norm(), 1.0, kTol);
+  EXPECT_DOUBLE_EQ(sv.expectation_z(0), 1.0);
+}
+
+TEST(StateVector, HadamardMakesPlus) {
+  StateVector sv(1);
+  sv.apply1(0, as_array2(gates::H()));
+  EXPECT_NEAR(std::abs(sv.amplitudes()[0]), 1.0 / std::sqrt(2.0), kTol);
+  EXPECT_NEAR(std::abs(sv.amplitudes()[1]), 1.0 / std::sqrt(2.0), kTol);
+  EXPECT_NEAR(sv.expectation_z(0), 0.0, kTol);
+}
+
+TEST(StateVector, BellState) {
+  StateVector sv(2);
+  Circuit c(2);
+  c.h(0).cx(0, 1);
+  sv.run(c);
+  EXPECT_NEAR(std::abs(sv.amplitudes()[0]), 1.0 / std::sqrt(2.0), kTol);
+  EXPECT_NEAR(std::abs(sv.amplitudes()[3]), 1.0 / std::sqrt(2.0), kTol);
+  EXPECT_NEAR(std::abs(sv.amplitudes()[1]), 0.0, kTol);
+  EXPECT_NEAR(std::abs(sv.amplitudes()[2]), 0.0, kTol);
+}
+
+TEST(StateVector, RyExpectationClosedForm) {
+  // <Z> after RY(theta)|0> is cos(theta).
+  for (double theta : {0.0, 0.4, 1.1, 2.7, -0.9}) {
+    StateVector sv(1);
+    Circuit c(1);
+    c.ry(0, theta);
+    sv.run(c);
+    EXPECT_NEAR(sv.expectation_z(0), std::cos(theta), 1e-10) << theta;
+  }
+}
+
+TEST(StateVector, RxExpectationClosedForm) {
+  for (double theta : {0.3, 1.8, -1.2}) {
+    StateVector sv(1);
+    Circuit c(1);
+    c.rx(0, theta);
+    sv.run(c);
+    EXPECT_NEAR(sv.expectation_z(0), std::cos(theta), 1e-10);
+  }
+}
+
+TEST(StateVector, RzFastPathMatchesMatrix) {
+  StateVector fast(2), slow(2);
+  Circuit prep(2);
+  prep.h(0).h(1);
+  fast.run(prep);
+  slow.run(prep);
+
+  Gate rz{GateKind::RZ, 1, -1, ParamRef{}, 0.0};
+  fast.apply_gate(rz, 0.77);
+  slow.apply1(1, as_array2(gates::RZ(0.77)));
+  for (std::size_t i = 0; i < fast.dim(); ++i) {
+    EXPECT_NEAR(std::abs(fast.amplitudes()[i] - slow.amplitudes()[i]), 0.0, kTol);
+  }
+}
+
+TEST(StateVector, CxFastPathMatchesMatrix) {
+  StateVector fast(3), slow(3);
+  Circuit prep(3);
+  prep.h(0).ry(1, 0.8).rx(2, 1.3);
+  fast.run(prep);
+  slow.run(prep);
+
+  Gate cx{GateKind::CX, 2, 0, ParamRef{}, 0.0};
+  fast.apply_gate(cx, 0.0);
+  slow.apply2(2, 0, as_array4(gates::CX()));
+  for (std::size_t i = 0; i < fast.dim(); ++i) {
+    EXPECT_NEAR(std::abs(fast.amplitudes()[i] - slow.amplitudes()[i]), 0.0, kTol);
+  }
+}
+
+TEST(StateVector, ControlledRotationRespectsControl) {
+  // Control |0>: CRY acts as identity.
+  {
+    StateVector sv(2);
+    Circuit c(2);
+    c.cry(0, 1, 1.3);
+    sv.run(c);
+    EXPECT_NEAR(std::abs(sv.amplitudes()[0] - cplx{1, 0}), 0.0, kTol);
+  }
+  // Control |1>: target rotates by theta.
+  {
+    StateVector sv(2);
+    Circuit c(2);
+    c.x(0).cry(0, 1, 1.3);
+    sv.run(c);
+    EXPECT_NEAR(sv.expectation_z(1), std::cos(1.3), 1e-10);
+    EXPECT_NEAR(sv.expectation_z(0), -1.0, 1e-10);
+  }
+}
+
+TEST(StateVector, QubitOrderingConvention) {
+  // X on qubit 2 flips bit 2 -> basis state 4.
+  StateVector sv(3);
+  Circuit c(3);
+  c.x(2);
+  sv.run(c);
+  EXPECT_NEAR(std::abs(sv.amplitudes()[4] - cplx{1, 0}), 0.0, kTol);
+}
+
+TEST(StateVector, NormPreservedThroughDeepCircuit) {
+  StateVector sv(4);
+  Circuit c(4);
+  for (int layer = 0; layer < 5; ++layer) {
+    for (int q = 0; q < 4; ++q) {
+      c.ry(q, 0.1 * (layer + 1) * (q + 1));
+      c.rz(q, -0.2 * (q + 1));
+    }
+    for (int q = 0; q < 4; ++q) c.cry(q, (q + 1) % 4, 0.3 * (q + 1));
+  }
+  sv.run(c);
+  EXPECT_NEAR(sv.norm(), 1.0, 1e-10);
+}
+
+TEST(StateVector, RunWithSymbolicParameters) {
+  Circuit c(2);
+  c.ry(0, trainable(0)).rz(1, input(0)).cry(0, 1, trainable(1));
+  const std::vector<double> theta{0.9, 0.4};
+  const std::vector<double> x{1.1};
+
+  StateVector symbolic(2);
+  symbolic.run(c, theta, x);
+
+  StateVector literal(2);
+  Circuit bound = c.bind(theta, x);
+  literal.run(bound);
+
+  for (std::size_t i = 0; i < symbolic.dim(); ++i) {
+    EXPECT_NEAR(std::abs(symbolic.amplitudes()[i] - literal.amplitudes()[i]),
+                0.0, kTol);
+  }
+}
+
+TEST(StateVector, ProbabilitiesSumToOne) {
+  StateVector sv(3);
+  Circuit c(3);
+  c.h(0).cx(0, 1).ry(2, 0.6).crz(1, 2, 1.2);
+  sv.run(c);
+  const auto probs = sv.probabilities();
+  double total = 0.0;
+  for (double p : probs) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(StateVector, SetBasisState) {
+  StateVector sv(2);
+  sv.set_basis_state(2);
+  EXPECT_DOUBLE_EQ(sv.expectation_z(1), -1.0);
+  EXPECT_DOUBLE_EQ(sv.expectation_z(0), 1.0);
+  EXPECT_THROW(sv.set_basis_state(4), PreconditionError);
+}
+
+TEST(StateVector, SwapGate) {
+  StateVector sv(2);
+  Circuit c(2);
+  c.x(0).swap(0, 1);
+  sv.run(c);
+  EXPECT_DOUBLE_EQ(sv.expectation_z(0), 1.0);
+  EXPECT_DOUBLE_EQ(sv.expectation_z(1), -1.0);
+}
+
+}  // namespace
+}  // namespace qucad
