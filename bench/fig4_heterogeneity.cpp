@@ -22,8 +22,13 @@ int main() {
                          history.date_string(days[1]),
                          history.date_string(days[2])});
   for (const auto& [a, b] : history.day(0).edges()) {
+    std::string edge = "<";
+    edge += std::to_string(a);
+    edge += ",";
+    edge += std::to_string(b);
+    edge += ">";
     noise_table.add_row(
-        {"<" + std::to_string(a) + "," + std::to_string(b) + ">",
+        {edge,
          fmt(history.day(days[0]).cx_error(a, b), 4),
          fmt(history.day(days[1]).cx_error(a, b), 4),
          fmt(history.day(days[2]).cx_error(a, b), 4)});

@@ -1,0 +1,192 @@
+// Self-timed perf driver: runs the kernel and noisy-evaluation benchmarks
+// and emits machine-readable BENCH_*.json records so the perf trajectory of
+// the repo can be tracked across PRs without google-benchmark tooling.
+//
+// Usage: run_all [output_dir]   (default: current directory)
+//
+// Each BENCH_<group>.json file holds:
+//   {"schema": "qucad-bench-v1", "group": ..., "records": [
+//      {"name", "params", "iters", "seconds", "throughput", "unit"}, ...]}
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "data/mnist_synth.hpp"
+#include "noise/calibration_history.hpp"
+#include "qnn/ansatz.hpp"
+#include "qnn/encoding.hpp"
+#include "qnn/evaluator.hpp"
+#include "qnn/model.hpp"
+#include "sim/adjoint.hpp"
+#include "sim/statevector.hpp"
+#include "transpile/transpiler.hpp"
+
+namespace qucad::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Record {
+  std::string name;
+  std::string params;   // free-form "k=v,k=v" descriptor
+  std::int64_t iters = 0;
+  double seconds = 0.0;
+  double throughput = 0.0;  // work items per second (see unit)
+  std::string unit;
+};
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+void write_group(const std::string& dir, const std::string& group,
+                 const std::vector<Record>& records) {
+  const std::string path = dir + "/BENCH_" + group + ".json";
+  std::ofstream os(path);
+  require(os.good(), "cannot open " + path);
+  os << "{\n  \"schema\": \"qucad-bench-v1\",\n  \"group\": \"" << group
+     << "\",\n  \"records\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const Record& r = records[i];
+    os << "    {\"name\": \"" << json_escape(r.name) << "\", \"params\": \""
+       << json_escape(r.params) << "\", \"iters\": " << r.iters
+       << ", \"seconds\": " << r.seconds << ", \"throughput\": " << r.throughput
+       << ", \"unit\": \"" << json_escape(r.unit) << "\"}"
+       << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  require(os.good(), "write failed for " + path);
+  std::cout << "wrote " << path << "\n";
+}
+
+/// Runs `body` repeatedly until ~min_seconds of wall time accumulate and
+/// returns a throughput record (items/sec with `items_per_iter` items per
+/// call). One warmup call is excluded from timing.
+template <typename Body>
+Record time_loop(const std::string& name, const std::string& params,
+                 double items_per_iter, const std::string& unit, Body&& body,
+                 double min_seconds = 0.25) {
+  body();  // warmup
+  Record r;
+  r.name = name;
+  r.params = params;
+  r.unit = unit;
+  const auto start = Clock::now();
+  double elapsed = 0.0;
+  while (elapsed < min_seconds) {
+    body();
+    ++r.iters;
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  }
+  r.seconds = elapsed;
+  r.throughput = static_cast<double>(r.iters) * items_per_iter / elapsed;
+  return r;
+}
+
+std::vector<double> make_theta(int n, std::uint64_t seed = 1) {
+  Rng rng(seed);
+  std::vector<double> theta(static_cast<std::size_t>(n));
+  for (double& t : theta) t = rng.uniform(-3.0, 3.0);
+  return theta;
+}
+
+std::vector<Record> kernel_benches() {
+  std::vector<Record> records;
+  for (int qubits : {4, 6, 8}) {
+    Circuit c = angle_encoder(qubits, qubits);
+    c.append(build_paper_ansatz(qubits, 2));
+    const auto theta = make_theta(c.num_trainable());
+    const std::vector<double> x(static_cast<std::size_t>(qubits), 0.7);
+    records.push_back(time_loop(
+        "statevector_forward", "qubits=" + std::to_string(qubits), 1.0,
+        "circuits/sec", [&] {
+          StateVector sv(qubits);
+          sv.run(c, theta, x);
+          volatile double sink = sv.expectation_z(0);
+          (void)sink;
+        }));
+  }
+  for (int qubits : {4, 6}) {
+    Circuit c = angle_encoder(qubits, qubits);
+    c.append(build_paper_ansatz(qubits, 2));
+    const auto theta = make_theta(c.num_trainable());
+    const std::vector<double> x(static_cast<std::size_t>(qubits), 0.7);
+    std::vector<double> weights(static_cast<std::size_t>(qubits), 0.0);
+    weights[0] = 1.0;
+    records.push_back(time_loop(
+        "adjoint_gradient", "qubits=" + std::to_string(qubits), 1.0,
+        "gradients/sec", [&] {
+          const auto result = adjoint_gradient(c, theta, x, weights);
+          volatile double sink = result.gradients[0];
+          (void)sink;
+        }));
+  }
+  {
+    const CalibrationHistory history(FluctuationScenario::belem(), 10, 2021);
+    const QnnModel model = build_paper_model(4, 4, 2, 2);
+    records.push_back(time_loop("transpile_model", "device=belem", 1.0,
+                                "transpiles/sec", [&] {
+                                  const TranspiledModel t = transpile_model(
+                                      model.circuit, model.readout_qubits,
+                                      CouplingMap::belem(), &history.day(0));
+                                  volatile int sink = t.routed.swap_count;
+                                  (void)sink;
+                                }));
+  }
+  return records;
+}
+
+std::vector<Record> noisy_eval_benches() {
+  std::vector<Record> records;
+  const CalibrationHistory history(FluctuationScenario::belem(), 10, 2021);
+  const Calibration& calib = history.day(0);
+  const QnnModel model = build_paper_model(4, 4, 2, 2);
+  const auto theta = make_theta(model.num_params(), 7);
+  const TranspiledModel transpiled = transpile_model(
+      model.circuit, model.readout_qubits, CouplingMap::belem(), &calib);
+  const Dataset data = make_mnist4(64, 24);
+  records.push_back(time_loop(
+      "noisy_evaluate", "qubits=4,samples=" + std::to_string(data.size()),
+      static_cast<double>(data.size()), "samples/sec", [&] {
+        const auto result =
+            noisy_evaluate(model, transpiled, theta, data, calib);
+        volatile double sink = result.accuracy;
+        (void)sink;
+      }));
+  return records;
+}
+
+}  // namespace
+}  // namespace qucad::bench
+
+int main(int argc, char** argv) {
+  const std::string dir = argc > 1 ? argv[1] : ".";
+  using namespace qucad::bench;
+  try {
+    // Fail fast on an unwritable output dir before burning bench time.
+    {
+      const std::string probe_path = dir + "/BENCH_kernels.json";
+      std::ofstream probe(probe_path);
+      qucad::require(probe.good(), "cannot open " + probe_path);
+    }
+    write_group(dir, "kernels", kernel_benches());
+    write_group(dir, "noisy_eval", noisy_eval_benches());
+  } catch (const std::exception& e) {
+    std::cerr << "run_all: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

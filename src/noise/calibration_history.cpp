@@ -175,7 +175,9 @@ std::string CalibrationHistory::date_string(int d) const {
   const unsigned dd = static_cast<unsigned>(date.day());
   const int yy = static_cast<int>(date.year()) % 100;
   auto two = [](unsigned v) {
-    return (v < 10 ? "0" : "") + std::to_string(v);
+    std::string s = std::to_string(v);
+    if (v < 10) s.insert(s.begin(), '0');
+    return s;
   };
   return two(m) + "/" + two(dd) + "/" + two(static_cast<unsigned>(yy));
 }

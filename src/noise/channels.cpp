@@ -140,17 +140,23 @@ Kraus1 phase_damping(double lambda) {
   return ch;
 }
 
-Kraus1 thermal_relaxation(double t1_us, double t2_us, double duration_us) {
+ThermalChannel thermal_relaxation_params(double t1_us, double t2_us,
+                                         double duration_us) {
   require(t1_us > 0.0 && t2_us > 0.0 && t2_us <= 2.0 * t1_us,
           "thermal relaxation requires 0 < T2 <= 2*T1");
   require(duration_us >= 0.0, "duration must be non-negative");
-  if (duration_us == 0.0) return identity1();
-  const double gamma = 1.0 - std::exp(-duration_us / t1_us);
+  ThermalChannel ch;
+  if (duration_us == 0.0) return ch;
+  ch.gamma = 1.0 - std::exp(-duration_us / t1_us);
   // Total coherence decay must equal exp(-t/T2); amplitude damping alone
   // contributes exp(-t/(2*T1)).
   const double residual = std::exp(-2.0 * duration_us / t2_us + duration_us / t1_us);
-  const double lambda = std::max(0.0, 1.0 - residual);
-  return compose(amplitude_damping(gamma), phase_damping(lambda));
+  ch.lambda = std::max(0.0, 1.0 - residual);
+  return ch;
+}
+
+Kraus1 thermal_relaxation(double t1_us, double t2_us, double duration_us) {
+  return thermal_relaxation_params(t1_us, t2_us, duration_us).kraus();
 }
 
 namespace {
@@ -226,6 +232,12 @@ Kraus2 identity2() {
 }
 
 }  // namespace channels
+
+Kraus1 ThermalChannel::kraus() const {
+  if (empty()) return channels::identity1();
+  return channels::compose(channels::amplitude_damping(gamma),
+                           channels::phase_damping(lambda));
+}
 
 std::vector<double> apply_readout_error(std::vector<double> probs,
                                         std::span<const ReadoutError> errors) {

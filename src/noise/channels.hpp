@@ -26,6 +26,20 @@ struct Kraus2 {
   bool is_cptp(double tol = 1e-9) const;
 };
 
+/// Thermal relaxation as closed-form parameters: amplitude damping `gamma`
+/// composed with pure dephasing `lambda`. Storing the parameters instead of
+/// materialized Kraus operators lets the density-matrix simulator apply the
+/// channel in a single pass (DensityMatrix::apply_thermal1); kraus() builds
+/// the equivalent operator set for generic paths and cross-checks.
+struct ThermalChannel {
+  double gamma = 0.0;   // amplitude-damping probability over the pulse
+  double lambda = 0.0;  // additional pure-dephasing probability
+
+  bool empty() const { return gamma == 0.0 && lambda == 0.0; }
+  Kraus1 kraus() const;
+  bool is_cptp(double tol = 1e-9) const { return kraus().is_cptp(tol); }
+};
+
 namespace channels {
 
 /// Depolarizing channel (Qiskit convention):
@@ -48,6 +62,10 @@ Kraus1 phase_damping(double lambda);
 /// amplitude damping with gamma = 1-exp(-t/T1) composed with the phase
 /// damping that brings total coherence decay to exp(-t/T2).
 Kraus1 thermal_relaxation(double t1_us, double t2_us, double duration_us);
+
+/// Same channel in closed-form parameters (see ThermalChannel).
+ThermalChannel thermal_relaxation_params(double t1_us, double t2_us,
+                                         double duration_us);
 
 /// Sequential composition: apply `first`, then `second`.
 Kraus1 compose(const Kraus1& first, const Kraus1& second);

@@ -9,10 +9,10 @@ NoiseModel::NoiseModel(const Calibration& calibration, NoiseModelOptions options
   const int n = num_qubits_;
   pulse_.reserve(static_cast<std::size_t>(n));
 
-  auto thermal_for = [&](int q, double duration) -> Kraus1 {
-    if (!options.include_thermal_relaxation) return Kraus1{};
-    return channels::thermal_relaxation(calibration.t1_us(q),
-                                        calibration.t2_us(q), duration);
+  auto thermal_for = [&](int q, double duration) -> ThermalChannel {
+    if (!options.include_thermal_relaxation) return ThermalChannel{};
+    return channels::thermal_relaxation_params(calibration.t1_us(q),
+                                               calibration.t2_us(q), duration);
   };
 
   for (int q = 0; q < n; ++q) {

@@ -22,20 +22,20 @@ struct NoiseModelOptions {
   bool include_readout_error = true;
 };
 
-/// Error process following one single-qubit pulse: a depolarizing term
-/// (applied with the closed-form fast path) plus thermal relaxation Kraus
-/// operators (empty when disabled).
+/// Error process following one single-qubit pulse: a depolarizing term plus
+/// thermal relaxation, both applied with closed-form fast paths (zeroed when
+/// disabled).
 struct PulseNoise {
   double depolarizing_p = 0.0;
-  Kraus1 thermal;  // 3 Kraus ops (amplitude + phase damping composed)
+  ThermalChannel thermal;
 };
 
 /// Error process following a CX on a coupled pair (stored for the
 /// normalized (min,max) qubit order).
 struct CxNoise {
   double depolarizing_p = 0.0;
-  Kraus1 thermal_first;   // on min(q)
-  Kraus1 thermal_second;  // on max(q)
+  ThermalChannel thermal_first;   // on min(q)
+  ThermalChannel thermal_second;  // on max(q)
 };
 
 /// Device noise model compiled from one calibration snapshot, in the same

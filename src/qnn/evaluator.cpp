@@ -20,7 +20,8 @@ NoisyEvalResult noisy_evaluate(const QnnModel& model,
   result.predictions.assign(data.size(), -1);
   std::vector<int> correct(data.size(), 0);
 
-  parallel_for(data.size(), [&](std::size_t i) {
+  ThreadPool& pool = options.pool ? *options.pool : ThreadPool::global();
+  pool.parallel_for(data.size(), [&](std::size_t i) {
     std::vector<double> z;
     if (options.shots > 0) {
       Rng rng(options.shot_seed + i);

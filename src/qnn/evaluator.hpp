@@ -10,10 +10,15 @@
 
 namespace qucad {
 
+class ThreadPool;
+
 struct NoisyEvalOptions {
   NoiseModelOptions noise;
   int shots = 0;  // 0 = exact density-matrix expectations
   std::uint64_t shot_seed = 99;
+  /// Pool used to spread samples; nullptr = the process-global pool. Lets
+  /// callers (and tests) pin the evaluation to a specific worker count.
+  ThreadPool* pool = nullptr;
 };
 
 struct NoisyEvalResult {

@@ -123,6 +123,31 @@ void DensityMatrix::apply1(int q, const std::array<cplx, 4>& u) {
   right_mul1_dag(q, u, rho_);
 }
 
+void DensityMatrix::apply_diag1(int q, cplx d0, cplx d1) {
+  require(q >= 0 && q < num_qubits_, "qubit index out of range");
+  const std::size_t mq = std::size_t{1} << q;
+  // U rho U^dag with U = diag(d0, d1): entry (r, c) scales by
+  // d_{bit(r)} * conj(d_{bit(c)}).
+  const double n0 = std::norm(d0);
+  const double n1 = std::norm(d1);
+  const cplx f01 = d0 * std::conj(d1);
+  const cplx f10 = d1 * std::conj(d0);
+  for (std::size_t r = 0; r < dim_; ++r) {
+    if (r & mq) continue;
+    const std::size_t r1 = r | mq;
+    cplx* row0 = rho_.data() + r * dim_;
+    cplx* row1 = rho_.data() + r1 * dim_;
+    for (std::size_t c = 0; c < dim_; ++c) {
+      if (c & mq) continue;
+      const std::size_t c1 = c | mq;
+      row0[c] *= n0;
+      row0[c1] *= f01;
+      row1[c] *= f10;
+      row1[c1] *= n1;
+    }
+  }
+}
+
 void DensityMatrix::apply2(int q0, int q1, const std::array<cplx, 16>& u) {
   require(q0 >= 0 && q0 < num_qubits_ && q1 >= 0 && q1 < num_qubits_ && q0 != q1,
           "invalid qubit pair");
@@ -131,6 +156,11 @@ void DensityMatrix::apply2(int q0, int q1, const std::array<cplx, 16>& u) {
 }
 
 void DensityMatrix::apply_gate(const Gate& gate, double angle) {
+  if (gate.kind == GateKind::RZ) {
+    apply_diag1(gate.q0, std::exp(cplx{0.0, -angle / 2.0}),
+                std::exp(cplx{0.0, angle / 2.0}));
+    return;
+  }
   const CMat m = gate_matrix(gate.kind, angle);
   if (gate.num_qubits() == 1) {
     apply1(gate.q0, as_array2(m));
@@ -149,29 +179,31 @@ void DensityMatrix::run(const Circuit& circuit, std::span<const double> theta,
 
 void DensityMatrix::apply_kraus1(int q, std::span<const std::array<cplx, 4>> kraus) {
   require(!kraus.empty(), "empty Kraus set");
-  std::vector<cplx> acc(rho_.size(), cplx{0.0, 0.0});
-  std::vector<cplx> tmp;
+  // Scratch buffers persist across calls to keep the per-gate hot path
+  // allocation-free (the swap below recycles rho_'s old storage as acc).
+  thread_local std::vector<cplx> acc, tmp;
+  acc.assign(rho_.size(), cplx{0.0, 0.0});
   for (const auto& k : kraus) {
     tmp = rho_;
     left_mul1(q, k, tmp);
     right_mul1_dag(q, k, tmp);
     for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += tmp[i];
   }
-  rho_ = std::move(acc);
+  rho_.swap(acc);
 }
 
 void DensityMatrix::apply_kraus2(int q0, int q1,
                                  std::span<const std::array<cplx, 16>> kraus) {
   require(!kraus.empty(), "empty Kraus set");
-  std::vector<cplx> acc(rho_.size(), cplx{0.0, 0.0});
-  std::vector<cplx> tmp;
+  thread_local std::vector<cplx> acc, tmp;
+  acc.assign(rho_.size(), cplx{0.0, 0.0});
   for (const auto& k : kraus) {
     tmp = rho_;
     left_mul2(q0, q1, k, tmp);
     right_mul2_dag(q0, q1, k, tmp);
     for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += tmp[i];
   }
-  rho_ = std::move(acc);
+  rho_.swap(acc);
 }
 
 void DensityMatrix::apply_depolarizing1(int q, double p) {
@@ -224,6 +256,36 @@ void DensityMatrix::apply_depolarizing2(int q0, int q1, double p) {
       for (std::size_t k = 0; k < 4; ++k) {
         rho_[(r | offsets[k]) * dim_ + (c | offsets[k])] += add;
       }
+    }
+  }
+}
+
+void DensityMatrix::apply_thermal1(int q, double gamma, double lambda) {
+  require(q >= 0 && q < num_qubits_, "qubit index out of range");
+  require(gamma >= 0.0 && gamma <= 1.0 && lambda >= 0.0 && lambda <= 1.0,
+          "thermal parameters out of range");
+  if (gamma == 0.0 && lambda == 0.0) return;
+  // Amplitude damping then pure dephasing, written out per 2x2 block of the
+  // q subspace (rho00 = (r,c), rho01 = (r,c1), rho10 = (r1,c),
+  // rho11 = (r1,c1)):
+  //   rho00 += gamma * rho11          rho11 *= 1 - gamma
+  //   rho01 *= s                      rho10 *= s
+  // with s = sqrt((1-gamma)(1-lambda)).
+  const std::size_t mq = std::size_t{1} << q;
+  const double keep = 1.0 - gamma;
+  const double s = std::sqrt(keep * (1.0 - lambda));
+  for (std::size_t r = 0; r < dim_; ++r) {
+    if (r & mq) continue;
+    const std::size_t r1 = r | mq;
+    cplx* row0 = rho_.data() + r * dim_;
+    cplx* row1 = rho_.data() + r1 * dim_;
+    for (std::size_t c = 0; c < dim_; ++c) {
+      if (c & mq) continue;
+      const std::size_t c1 = c | mq;
+      row0[c] += gamma * row1[c1];
+      row1[c1] *= keep;
+      row0[c1] *= s;
+      row1[c] *= s;
     }
   }
 }

@@ -46,14 +46,18 @@ DensityMatrix NoisyExecutor::run_density(std::span<const double> x) const {
   auto apply_pulse_noise = [&](int q) {
     const PulseNoise& pn = noise_.pulse_noise(q);
     dm.apply_depolarizing1(q, pn.depolarizing_p);
-    if (!pn.thermal.empty()) dm.apply_kraus1(q, pn.thermal.ops);
+    if (!pn.thermal.empty()) {
+      dm.apply_thermal1(q, pn.thermal.gamma, pn.thermal.lambda);
+    }
   };
 
   for (const PhysOp& op : circuit_.ops()) {
     switch (op.kind) {
-      case PhysOpKind::RZ:
-        dm.apply1(op.q0, rz_array(op.resolve_angle(x)));
+      case PhysOpKind::RZ: {
+        const auto rz = rz_array(op.resolve_angle(x));
+        dm.apply_diag1(op.q0, rz[0], rz[3]);
         break;
+      }
       case PhysOpKind::SX:
         dm.apply1(op.q0, sx_array());
         if (noisy) apply_pulse_noise(op.q0);
@@ -69,8 +73,13 @@ DensityMatrix NoisyExecutor::run_density(std::span<const double> x) const {
           const int b = std::max(op.q0, op.q1);
           const CxNoise& cn = noise_.cx_noise(a, b);
           dm.apply_depolarizing2(a, b, cn.depolarizing_p);
-          if (!cn.thermal_first.empty()) dm.apply_kraus1(a, cn.thermal_first.ops);
-          if (!cn.thermal_second.empty()) dm.apply_kraus1(b, cn.thermal_second.ops);
+          if (!cn.thermal_first.empty()) {
+            dm.apply_thermal1(a, cn.thermal_first.gamma, cn.thermal_first.lambda);
+          }
+          if (!cn.thermal_second.empty()) {
+            dm.apply_thermal1(b, cn.thermal_second.gamma,
+                              cn.thermal_second.lambda);
+          }
         }
         break;
       }

@@ -6,10 +6,12 @@
 #include "noise/calibration_history.hpp"
 #include "transpile/transpiler.hpp"
 
+#include "test_support.hpp"
+
 namespace qucad {
 namespace {
 
-constexpr double kPi = 3.14159265358979323846;
+constexpr double kPi = test::kPi;
 
 // Verifies the routed circuit and its basis-lowered form produce the same
 // state (up to global phase) for given parameters.

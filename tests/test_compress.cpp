@@ -11,10 +11,12 @@
 #include "qnn/evaluator.hpp"
 #include "qnn/trainer.hpp"
 
+#include "test_support.hpp"
+
 namespace qucad {
 namespace {
 
-constexpr double kPi = 3.14159265358979323846;
+constexpr double kPi = test::kPi;
 
 TEST(CompressionTable, DefaultLevels) {
   const CompressionTable table;

@@ -5,11 +5,12 @@
 #include "linalg/gates.hpp"
 #include "noise/channels.hpp"
 #include "sim/density_matrix.hpp"
+#include "test_support.hpp"
 
 namespace qucad {
 namespace {
 
-constexpr double kTol = 1e-10;
+constexpr double kTol = test::kAgreementTol;
 
 TEST(DensityMatrix, PureStateMatchesStateVector) {
   Circuit c(3);
@@ -217,6 +218,64 @@ TEST(Channels, ComposeMatchesSequentialApplication) {
     EXPECT_NEAR(std::abs(composed.data()[i] - sequential.data()[i]), 0.0, kTol);
   }
 }
+
+TEST(DensityMatrix, ThermalFastPathMatchesKraus) {
+  // apply_thermal1 (closed form, one pass) must agree with the generic
+  // Kraus application of the materialized operator set.
+  Rng rng(17);
+  for (int trial = 0; trial < 8; ++trial) {
+    const double gamma = rng.uniform(0.0, 0.6);
+    const double lambda = rng.uniform(0.0, 0.6);
+    const Circuit prep = test::random_circuit(rng, 3, 12);
+
+    DensityMatrix fast(3), slow(3);
+    fast.run(prep);
+    slow.run(prep);
+
+    const ThermalChannel ch{gamma, lambda};
+    fast.apply_thermal1(1, ch.gamma, ch.lambda);
+    slow.apply_kraus1(1, ch.kraus().ops);
+
+    test::expect_amplitudes_near(fast.data(), slow.data(), kTol);
+    EXPECT_NEAR(fast.trace_real(), 1.0, 1e-9);
+  }
+}
+
+TEST(DensityMatrix, DiagonalFastPathMatchesApply1) {
+  Rng rng(23);
+  for (int trial = 0; trial < 8; ++trial) {
+    const double angle = rng.uniform(-test::kPi, test::kPi);
+    const Circuit prep = test::random_circuit(rng, 3, 12);
+
+    DensityMatrix fast(3), slow(3);
+    fast.run(prep);
+    slow.run(prep);
+
+    const cplx d0 = std::exp(cplx{0.0, -angle / 2.0});
+    const cplx d1 = std::exp(cplx{0.0, angle / 2.0});
+    fast.apply_diag1(2, d0, d1);
+    slow.apply1(2, {d0, cplx{0.0, 0.0}, cplx{0.0, 0.0}, d1});
+
+    test::expect_amplitudes_near(fast.data(), slow.data(), kTol);
+  }
+}
+
+// Satellite coverage: noiseless density-matrix evolution must agree with the
+// statevector on random 4-6 qubit circuits to 1e-10.
+class SimulatorAgreement : public test::SeededTest,
+                           public ::testing::WithParamInterface<int> {};
+
+TEST_P(SimulatorAgreement, RandomCircuitsMatchStateVector) {
+  const int qubits = GetParam();
+  for (int trial = 0; trial < 6; ++trial) {
+    const Circuit c = test::random_circuit(rng(), qubits, 12 * qubits);
+    test::expect_statevector_density_agree(c, {}, {}, test::kAgreementTol);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FourToSixQubits, SimulatorAgreement,
+                         ::testing::Values(4, 5, 6),
+                         ::testing::PrintToStringParamName());
 
 TEST(Channels, TensorActsOnCorrectQubits) {
   // amplitude damping on the pair's first qubit only.

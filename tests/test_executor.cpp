@@ -5,6 +5,8 @@
 #include "noise/calibration_history.hpp"
 #include "transpile/transpiler.hpp"
 
+#include "test_support.hpp"
+
 namespace qucad {
 namespace {
 
@@ -113,7 +115,7 @@ TEST(Executor, ReadoutMappingFollowsRouting) {
   // Route a circuit that forces a swap; the executor must read the logical
   // qubit from its final physical home.
   Circuit c(2);
-  c.x(0).cry(0, 1, 3.14159265358979323846);
+  c.x(0).cry(0, 1, test::kPi);
   const RoutedCircuit routed = route_circuit(c, CouplingMap::belem(), {0, 4});
   EXPECT_GT(routed.swap_count, 0);
   const PhysicalCircuit phys = lower_to_basis(routed, {});

@@ -6,10 +6,12 @@
 #include "linalg/gates.hpp"
 #include "linalg/matrix.hpp"
 
+#include "test_support.hpp"
+
 namespace qucad {
 namespace {
 
-constexpr double kTol = 1e-12;
+constexpr double kTol = test::kTightTol;
 
 TEST(CMat, IdentityAndZeros) {
   const CMat id = CMat::identity(3);

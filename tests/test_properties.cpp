@@ -3,22 +3,28 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <stdexcept>
 
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "compress/compression_table.hpp"
 #include "noise/calibration_history.hpp"
 #include "qnn/ansatz.hpp"
 #include "qnn/encoding.hpp"
+#include "qnn/evaluator.hpp"
+#include "qnn/model.hpp"
 #include "repo/kmeans.hpp"
 #include "repo/weights.hpp"
 #include "sim/adjoint.hpp"
+#include "test_support.hpp"
 #include "transpile/transpiler.hpp"
 
 namespace qucad {
 namespace {
 
-constexpr double kPi = 3.14159265358979323846;
+constexpr double kPi = test::kPi;
 
 // --- transpilation invariants over every preset device ---------------------
 
@@ -231,9 +237,99 @@ INSTANTIATE_TEST_SUITE_P(Shapes, AnsatzSweep,
                                            std::pair{4, 2}, std::pair{4, 3},
                                            std::pair{5, 1}),
                          [](const auto& info) {
-                           return "q" + std::to_string(info.param.first) + "_r" +
-                                  std::to_string(info.param.second);
+                           std::string name = "q";
+                           name += std::to_string(info.param.first);
+                           name += "_r";
+                           name += std::to_string(info.param.second);
+                           return name;
                          });
+
+// --- thread pool invariants --------------------------------------------------
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kCount = 503;  // prime, not a multiple of the pool
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.parallel_for(kCount, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(64,
+                        [](std::size_t i) {
+                          if (i == 17) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool must survive a throwing batch and stay usable.
+  std::atomic<int> count{0};
+  pool.parallel_for(32, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPool, ParallelForStressManyBatches) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<long> sum{0};
+    const std::size_t count = 1 + static_cast<std::size_t>(round) * 7 % 97;
+    pool.parallel_for(count,
+                      [&](std::size_t i) { sum.fetch_add(static_cast<long>(i)); });
+    const long expected =
+        static_cast<long>(count) * static_cast<long>(count - 1) / 2;
+    EXPECT_EQ(sum.load(), expected) << "round " << round;
+  }
+}
+
+// --- parallel-vs-serial equivalence of noisy evaluation ----------------------
+
+TEST(NoisyEvaluate, PoolSizeDoesNotChangePredictions) {
+  const CalibrationHistory h(FluctuationScenario::belem(), 5, 11);
+  const QnnModel model = build_paper_model(4, 4, 2, 2);
+  const std::vector<double> theta = init_params(model, 3);
+  const TranspiledModel transpiled = transpile_model(
+      model.circuit, model.readout_qubits, CouplingMap::belem(), &h.day(0));
+
+  Rng rng(5);
+  Dataset data;
+  data.num_classes = 2;
+  data.name = "synthetic";
+  for (int i = 0; i < 24; ++i) {
+    std::vector<double> x(4);
+    for (double& v : x) v = rng.uniform(0.0, kPi);
+    data.features.push_back(std::move(x));
+    data.labels.push_back(rng.integer(0, 1));
+  }
+
+  ThreadPool serial(1);
+  ThreadPool parallel(4);
+  NoisyEvalOptions serial_opts;
+  serial_opts.pool = &serial;
+  NoisyEvalOptions parallel_opts;
+  parallel_opts.pool = &parallel;
+
+  const NoisyEvalResult a =
+      noisy_evaluate(model, transpiled, theta, data, h.day(1), serial_opts);
+  const NoisyEvalResult b =
+      noisy_evaluate(model, transpiled, theta, data, h.day(1), parallel_opts);
+
+  EXPECT_DOUBLE_EQ(a.accuracy, b.accuracy);
+  ASSERT_EQ(a.predictions.size(), b.predictions.size());
+  for (std::size_t i = 0; i < a.predictions.size(); ++i) {
+    EXPECT_EQ(a.predictions[i], b.predictions[i]) << "sample " << i;
+  }
+
+  // Shot-based sampling must also be pool-invariant (per-sample seeds).
+  serial_opts.shots = 256;
+  parallel_opts.shots = 256;
+  const NoisyEvalResult sa =
+      noisy_evaluate(model, transpiled, theta, data, h.day(1), serial_opts);
+  const NoisyEvalResult sb =
+      noisy_evaluate(model, transpiled, theta, data, h.day(1), parallel_opts);
+  EXPECT_EQ(sa.predictions, sb.predictions);
+}
 
 }  // namespace
 }  // namespace qucad

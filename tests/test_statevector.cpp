@@ -6,10 +6,12 @@
 #include "linalg/gates.hpp"
 #include "sim/statevector.hpp"
 
+#include "test_support.hpp"
+
 namespace qucad {
 namespace {
 
-constexpr double kTol = 1e-12;
+constexpr double kTol = test::kTightTol;
 
 TEST(StateVector, StartsInZero) {
   StateVector sv(3);
@@ -69,9 +71,7 @@ TEST(StateVector, RzFastPathMatchesMatrix) {
   Gate rz{GateKind::RZ, 1, -1, ParamRef{}, 0.0};
   fast.apply_gate(rz, 0.77);
   slow.apply1(1, as_array2(gates::RZ(0.77)));
-  for (std::size_t i = 0; i < fast.dim(); ++i) {
-    EXPECT_NEAR(std::abs(fast.amplitudes()[i] - slow.amplitudes()[i]), 0.0, kTol);
-  }
+  test::expect_amplitudes_near(fast.amplitudes(), slow.amplitudes(), kTol);
 }
 
 TEST(StateVector, CxFastPathMatchesMatrix) {
@@ -84,9 +84,7 @@ TEST(StateVector, CxFastPathMatchesMatrix) {
   Gate cx{GateKind::CX, 2, 0, ParamRef{}, 0.0};
   fast.apply_gate(cx, 0.0);
   slow.apply2(2, 0, as_array4(gates::CX()));
-  for (std::size_t i = 0; i < fast.dim(); ++i) {
-    EXPECT_NEAR(std::abs(fast.amplitudes()[i] - slow.amplitudes()[i]), 0.0, kTol);
-  }
+  test::expect_amplitudes_near(fast.amplitudes(), slow.amplitudes(), kTol);
 }
 
 TEST(StateVector, ControlledRotationRespectsControl) {

@@ -1,0 +1,110 @@
+#pragma once
+
+// Shared helpers for the qucad test suites: tolerance constants, complex
+// amplitude matchers, deterministic-seed fixtures, random circuit
+// generation, and statevector <-> density-matrix cross-check utilities.
+
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "common/rng.hpp"
+#include "sim/density_matrix.hpp"
+#include "sim/statevector.hpp"
+
+namespace qucad::test {
+
+inline constexpr double kPi = 3.14159265358979323846;
+
+/// Machine-precision tolerance for single-gate identities.
+inline constexpr double kTightTol = 1e-12;
+
+/// Tolerance for multi-gate pipelines where rounding accumulates.
+inline constexpr double kAgreementTol = 1e-10;
+
+/// EXPECT that two complex amplitudes agree within tol (absolute).
+inline void expect_cplx_near(const cplx& actual, const cplx& expected,
+                             double tol = kTightTol,
+                             const char* what = "amplitude") {
+  EXPECT_NEAR(actual.real(), expected.real(), tol) << what << " (real part)";
+  EXPECT_NEAR(actual.imag(), expected.imag(), tol) << what << " (imag part)";
+}
+
+/// EXPECT that two amplitude vectors agree element-wise within tol.
+inline void expect_amplitudes_near(std::span<const cplx> actual,
+                                   std::span<const cplx> expected,
+                                   double tol = kTightTol) {
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_NEAR(std::abs(actual[i] - expected[i]), 0.0, tol)
+        << "amplitude index " << i;
+  }
+}
+
+/// Fixture giving every test a deterministic, per-fixture-seeded Rng so
+/// randomized sweeps are reproducible run to run.
+class SeededTest : public ::testing::Test {
+ protected:
+  explicit SeededTest(std::uint64_t seed = 20230710) : rng_(seed) {}
+  Rng& rng() { return rng_; }
+
+ private:
+  Rng rng_;
+};
+
+/// Builds a random circuit over `num_qubits` with `num_gates` gates drawn
+/// from the full logical gate set (bound literal angles, no symbolic
+/// parameters) — the workhorse for simulator cross-check sweeps.
+inline Circuit random_circuit(Rng& rng, int num_qubits, int num_gates) {
+  Circuit c(num_qubits);
+  for (int g = 0; g < num_gates; ++g) {
+    const int q0 = rng.integer(0, num_qubits - 1);
+    int q1 = rng.integer(0, num_qubits - 2);
+    if (q1 >= q0) ++q1;  // distinct second qubit
+    const double angle = rng.uniform(-kPi, kPi);
+    switch (rng.integer(0, 9)) {
+      case 0: c.rx(q0, angle); break;
+      case 1: c.ry(q0, angle); break;
+      case 2: c.rz(q0, angle); break;
+      case 3: c.h(q0); break;
+      case 4: c.sx(q0); break;
+      case 5: c.x(q0); break;
+      case 6: c.cx(q0, q1); break;
+      case 7: c.crx(q0, q1, angle); break;
+      case 8: c.cry(q0, q1, angle); break;
+      default: c.crz(q0, q1, angle); break;
+    }
+  }
+  return c;
+}
+
+/// Runs `circuit` on both simulators (noiseless) and EXPECTs that the
+/// density matrix equals the statevector's outer product: per-qubit <Z>,
+/// basis probabilities, and purity all agree within tol.
+inline void expect_statevector_density_agree(const Circuit& circuit,
+                                             std::span<const double> theta = {},
+                                             std::span<const double> x = {},
+                                             double tol = kAgreementTol) {
+  StateVector sv(circuit.num_qubits());
+  sv.run(circuit, theta, x);
+  DensityMatrix dm(circuit.num_qubits());
+  dm.run(circuit, theta, x);
+
+  EXPECT_NEAR(dm.trace_real(), 1.0, tol);
+  EXPECT_NEAR(dm.purity(), 1.0, tol) << "noiseless evolution must stay pure";
+  for (int q = 0; q < circuit.num_qubits(); ++q) {
+    EXPECT_NEAR(dm.expectation_z(q), sv.expectation_z(q), tol) << "qubit " << q;
+  }
+  const std::vector<double> sv_probs = sv.probabilities();
+  const std::vector<double> dm_probs = dm.diagonal_probabilities();
+  ASSERT_EQ(sv_probs.size(), dm_probs.size());
+  for (std::size_t i = 0; i < sv_probs.size(); ++i) {
+    EXPECT_NEAR(dm_probs[i], sv_probs[i], tol) << "basis state " << i;
+  }
+}
+
+}  // namespace qucad::test

@@ -93,7 +93,9 @@ TEST(Router, InsertsSwapsForDistantPair) {
   // Every two-qubit gate in the routed circuit must be on coupled qubits.
   const CouplingMap belem = CouplingMap::belem();
   for (const Gate& g : routed.circuit.gates()) {
-    if (g.num_qubits() == 2) EXPECT_TRUE(belem.adjacent(g.q0, g.q1));
+    if (g.num_qubits() == 2) {
+      EXPECT_TRUE(belem.adjacent(g.q0, g.q1));
+    }
   }
 }
 
@@ -152,7 +154,9 @@ TEST(Transpiler, TwoQubitAssociationsAreCoupled) {
   const CouplingMap belem = CouplingMap::belem();
   const TranspiledModel model = transpile_model(c, {0}, belem, &h.day(0));
   for (const GateAssociation& a : model.associations) {
-    if (a.is_two_qubit()) EXPECT_TRUE(belem.adjacent(a.q0, a.q1));
+    if (a.is_two_qubit()) {
+      EXPECT_TRUE(belem.adjacent(a.q0, a.q1));
+    }
   }
 }
 
