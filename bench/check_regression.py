@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_*.json perf record against a checked-in baseline.
+
+Usage: check_regression.py <current.json> <baseline.json> [tolerance]
+
+Fails (exit 1) if any record named in the baseline is missing from the
+current run or has throughput below baseline * (1 - tolerance); tolerance
+defaults to 0.20, i.e. a >20% regression against the baseline numbers.
+Records present in the current run but not in the baseline are ignored, so
+adding benchmarks never requires touching the gate.
+"""
+
+import json
+import sys
+
+
+def load_records(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "qucad-bench-v1":
+        raise SystemExit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    return {r["name"]: r for r in doc["records"]}
+
+
+def main(argv):
+    if len(argv) not in (3, 4):
+        raise SystemExit(__doc__)
+    current = load_records(argv[1])
+    baseline = load_records(argv[2])
+    tolerance = float(argv[3]) if len(argv) == 4 else 0.20
+
+    failures = []
+    for name, base in baseline.items():
+        floor = base["throughput"] * (1.0 - tolerance)
+        cur = current.get(name)
+        if cur is None:
+            failures.append(f"  {name}: missing from current run")
+            continue
+        status = "ok" if cur["throughput"] >= floor else "REGRESSION"
+        print(
+            f"  {name}: {cur['throughput']:.3f} {cur['unit']} "
+            f"(baseline {base['throughput']:.3f}, floor {floor:.3f}) {status}"
+        )
+        if cur["throughput"] < floor:
+            failures.append(
+                f"  {name}: {cur['throughput']:.3f} < floor {floor:.3f} "
+                f"(baseline {base['throughput']:.3f} - {tolerance:.0%})"
+            )
+
+    if failures:
+        print(f"\n{argv[1]}: perf regression vs {argv[2]}:")
+        print("\n".join(failures))
+        return 1
+    print(f"\n{argv[1]}: all records within {tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

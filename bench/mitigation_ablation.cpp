@@ -63,17 +63,20 @@ int main() {
       comp_mit += computational_accuracy(ideal_probs, mitigated);
 
       // Expectation bias with and without ZNE.
+      // run_z / zne_expectations order their output by readout slot, so
+      // index by class position k, not by logical qubit id.
       const auto z_raw = executor.run_z(x);
       const auto z_zne = zne_expectations(phys, calib, x);
-      for (int lq : env.model.readout_qubits) {
+      for (std::size_t k = 0; k < env.model.readout_qubits.size(); ++k) {
+        const int lq = env.model.readout_qubits[k];
         const int pq = env.transpiled.readout_physical(lq);
         double z_ideal = 0.0;
         const std::size_t mq = std::size_t{1} << pq;
         for (std::size_t i = 0; i < ideal_probs.size(); ++i) {
           z_ideal += (i & mq) ? -ideal_probs[i] : ideal_probs[i];
         }
-        bias_raw += std::abs(z_raw[static_cast<std::size_t>(lq)] - z_ideal);
-        bias_zne += std::abs(z_zne[static_cast<std::size_t>(lq)] - z_ideal);
+        bias_raw += std::abs(z_raw[k] - z_ideal);
+        bias_zne += std::abs(z_zne[k] - z_ideal);
       }
     }
     const double norm_dist = 1.0 / static_cast<double>(probes);

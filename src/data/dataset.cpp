@@ -47,8 +47,16 @@ TrainTestSplit split_dataset(const Dataset& data, double test_fraction,
     Rng rng(shuffle_seed);
     order = rng.permutation(data.size());
   }
-  const std::size_t test_count =
-      static_cast<std::size_t>(std::round(test_fraction * static_cast<double>(data.size())));
+  require(data.size() >= 2,
+          "split_dataset needs at least 2 samples to give both partitions at "
+          "least one (got " + std::to_string(data.size()) + ")");
+  // Rounding can push a small dataset's test share to 0 or to everything
+  // (e.g. 3 samples at 0.1, or 3 at 0.9); an empty partition would only
+  // surface later as an "empty evaluation set" error far from the cause.
+  // Clamp so both partitions are always non-empty.
+  const std::size_t test_count = std::clamp<std::size_t>(
+      static_cast<std::size_t>(std::round(test_fraction * static_cast<double>(data.size()))),
+      1, data.size() - 1);
   const std::size_t train_count = data.size() - test_count;
   TrainTestSplit split;
   split.train = data.subset({order.begin(), order.begin() + static_cast<std::ptrdiff_t>(train_count)});

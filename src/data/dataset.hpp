@@ -32,7 +32,9 @@ struct Dataset {
 
 /// Deterministic split: first (1-test_fraction) for training, rest for test
 /// (matching the paper's "former 90% for training" convention). Set
-/// shuffle_seed to shuffle before splitting.
+/// shuffle_seed to shuffle before splitting. Both partitions are guaranteed
+/// non-empty: the rounded test share is clamped to [1, size-1], and datasets
+/// with fewer than 2 samples are rejected up front.
 struct TrainTestSplit {
   Dataset train;
   Dataset test;

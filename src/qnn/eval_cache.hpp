@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+
+#include "noise/calibration.hpp"
+#include "noise/noise_model.hpp"
+#include "qnn/model.hpp"
+#include "transpile/executor.hpp"
+#include "transpile/transpiler.hpp"
+
+namespace qucad {
+
+/// Builds the noisy executor for one (model, routed structure, theta,
+/// calibration, noise options) configuration: lowers the routed model at
+/// theta (compression peephole active), pins the readout slots to the
+/// model's readout qubits in class order, and compiles the circuit against
+/// the calibration's noise model.
+std::shared_ptr<const NoisyExecutor> build_noisy_executor(
+    const QnnModel& model, const TranspiledModel& transpiled,
+    std::span<const double> theta, const Calibration& calibration,
+    const NoiseModelOptions& noise_options);
+
+struct EvalCacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t evictions = 0;
+  std::size_t entries = 0;
+  std::size_t capacity = 0;
+};
+
+/// LRU cache of compiled noisy executors keyed by (transpiled structure,
+/// theta, calibration, noise options). Repository construction and keep-best
+/// loops evaluate the same configuration against many samples and revisit
+/// configurations across optimization rounds; caching stops them re-lowering
+/// the circuit and rebuilding the noise model on every noisy_evaluate call.
+///
+/// Keys are 128-bit content hashes of the inputs (structure, parameter and
+/// calibration values, options), so the cache is value-based: any caller
+/// presenting the same configuration shares one compiled executor. Entries
+/// are handed out as shared_ptr, so eviction never invalidates a running
+/// evaluation. Thread-safe.
+class CompiledEvalCache {
+ public:
+  explicit CompiledEvalCache(std::size_t capacity = 64);
+
+  /// Process-wide cache used by noisy_evaluate (NoisyEvalOptions::use_cache).
+  static CompiledEvalCache& global();
+
+  std::shared_ptr<const NoisyExecutor> get_or_build(
+      const QnnModel& model, const TranspiledModel& transpiled,
+      std::span<const double> theta, const Calibration& calibration,
+      const NoiseModelOptions& noise_options);
+
+  EvalCacheStats stats() const;
+  void clear();
+  /// Shrinks/extends the LRU capacity (evicting immediately if needed).
+  void set_capacity(std::size_t capacity);
+
+ private:
+  struct Key {
+    std::uint64_t h1 = 0;
+    std::uint64_t h2 = 0;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return static_cast<std::size_t>(k.h1 ^ (k.h2 * 0x9e3779b97f4a7c15ULL));
+    }
+  };
+  using LruList = std::list<std::pair<Key, std::shared_ptr<const NoisyExecutor>>>;
+
+  void evict_to_capacity_locked();
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<Key, LruList::iterator, KeyHash> index_;
+  EvalCacheStats stats_;
+};
+
+}  // namespace qucad

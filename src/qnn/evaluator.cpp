@@ -3,6 +3,7 @@
 #include "common/require.hpp"
 #include "common/stats.hpp"
 #include "common/thread_pool.hpp"
+#include "qnn/eval_cache.hpp"
 
 namespace qucad {
 
@@ -12,36 +13,32 @@ NoisyEvalResult noisy_evaluate(const QnnModel& model,
                                const Dataset& data, const Calibration& calib,
                                const NoisyEvalOptions& options) {
   require(data.size() > 0, "empty evaluation set");
-  const PhysicalCircuit phys = lower_model(transpiled, theta);
-  const NoiseModel nm(calib, options.noise);
-  const NoisyExecutor executor(phys, nm);
+  require(!model.readout_qubits.empty(), "model has no readout qubits");
+
+  const std::shared_ptr<const NoisyExecutor> executor =
+      options.use_cache
+          ? CompiledEvalCache::global().get_or_build(model, transpiled, theta,
+                                                     calib, options.noise)
+          : build_noisy_executor(model, transpiled, theta, calib,
+                                 options.noise);
+
+  const std::vector<std::vector<double>> zs = executor->run_z_batch(
+      data.features, options.shots, options.shot_seed, options.pool);
 
   NoisyEvalResult result;
   result.predictions.assign(data.size(), -1);
-  std::vector<int> correct(data.size(), 0);
-
-  ThreadPool& pool = options.pool ? *options.pool : ThreadPool::global();
-  pool.parallel_for(data.size(), [&](std::size_t i) {
-    std::vector<double> z;
-    if (options.shots > 0) {
-      Rng rng(options.shot_seed + i);
-      z = executor.run_z_shots(data.features[i], options.shots, rng);
-    } else {
-      z = executor.run_z(data.features[i]);
-    }
-    std::vector<double> logits;
-    logits.reserve(model.readout_qubits.size());
-    for (int q : model.readout_qubits) {
-      logits.push_back(z[static_cast<std::size_t>(q)]);
-    }
-    const int pred = static_cast<int>(argmax(logits));
-    result.predictions[i] = pred;
-    correct[i] = pred == data.labels[i] ? 1 : 0;
-  });
-
   std::size_t total_correct = 0;
-  for (int c : correct) total_correct += static_cast<std::size_t>(c);
-  result.accuracy = static_cast<double>(total_correct) / static_cast<double>(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    // run_z output is ordered by readout slot: zs[i][k] is <Z> of class k
+    // (model.readout_qubits[k] at its routed physical home). Indexing by
+    // qubit id here would misread — or run past — the logit vector for any
+    // model whose readout qubits are not {0..k-1}.
+    const int pred = static_cast<int>(argmax(zs[i]));
+    result.predictions[i] = pred;
+    if (pred == data.labels[i]) ++total_correct;
+  }
+  result.accuracy =
+      static_cast<double>(total_correct) / static_cast<double>(data.size());
   return result;
 }
 

@@ -19,6 +19,12 @@ struct NoisyEvalOptions {
   /// Pool used to spread samples; nullptr = the process-global pool. Lets
   /// callers (and tests) pin the evaluation to a specific worker count.
   ThreadPool* pool = nullptr;
+  /// Reuse compiled executors from CompiledEvalCache::global(). Repeated
+  /// evaluations of the same (structure, theta, calibration, noise)
+  /// configuration — repository keep-best loops, longitudinal harness runs —
+  /// then skip re-lowering and re-compiling entirely. Disable to force a
+  /// fresh build (e.g. when benchmarking compilation itself).
+  bool use_cache = true;
 };
 
 struct NoisyEvalResult {
@@ -26,10 +32,14 @@ struct NoisyEvalResult {
   std::vector<int> predictions;
 };
 
-/// Exact noisy evaluation of parameters on a dataset: lowers the routed
-/// model at `theta` (compression peephole active), builds the calibration's
-/// noise model, and classifies every sample with the density-matrix
-/// executor. Parallel over samples.
+/// Exact noisy evaluation of parameters on a dataset: lowers + compiles the
+/// routed model at `theta` once (compression peephole active, calibrated
+/// channels folded in — cached across calls), then classifies every sample
+/// with the compiled density-matrix program. Parallel over samples.
+///
+/// Class logits are read positionally: logit k is <Z> of readout slot k,
+/// i.e. model.readout_qubits[k] routed to its physical home — correct for
+/// any readout set, not just {0..k-1}.
 NoisyEvalResult noisy_evaluate(const QnnModel& model,
                                const TranspiledModel& transpiled,
                                std::span<const double> theta,

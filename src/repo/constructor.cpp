@@ -4,6 +4,7 @@
 
 #include "common/require.hpp"
 #include "common/stats.hpp"
+#include "qnn/eval_cache.hpp"
 #include "repo/weights.hpp"
 
 namespace qucad {
@@ -21,6 +22,7 @@ OfflineBuild build_repository(const QnnModel& model,
   OfflineBuild build;
   ConstructorDiagnostics& diag = build.diagnostics;
   const std::size_t days = offline_history.size();
+  const EvalCacheStats cache_before = CompiledEvalCache::global().stats();
 
   const Dataset profile_set =
       validation_data.take(std::min(options.profile_samples, validation_data.size()));
@@ -107,6 +109,10 @@ OfflineBuild build_repository(const QnnModel& model,
     }
   }
   build.repository.set_threshold(th);
+
+  const EvalCacheStats cache_after = CompiledEvalCache::global().stats();
+  diag.eval_cache_hits = cache_after.hits - cache_before.hits;
+  diag.eval_cache_misses = cache_after.misses - cache_before.misses;
   return build;
 }
 

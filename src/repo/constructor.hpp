@@ -22,6 +22,10 @@ struct ConstructorDiagnostics {
   std::vector<double> cluster_mean_accuracy;  // compressed model on own cluster
   double mean_accuracy_of_clusters = 0.0;     // Table II column 1
   double mean_accuracy_of_samples = 0.0;      // Table II column 2
+  // Compiled-executor cache traffic of this build (~100 noisy evaluations
+  // per construction): how many re-lowers/recompiles the cache absorbed.
+  std::size_t eval_cache_hits = 0;
+  std::size_t eval_cache_misses = 0;
 };
 
 struct OfflineBuild {

@@ -1,0 +1,269 @@
+#include "sim/compiled_ops.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "linalg/gates.hpp"
+
+namespace qucad {
+
+namespace {
+
+constexpr std::array<cplx, 4> kIdentity2{cplx{1.0, 0.0}, cplx{0.0, 0.0},
+                                         cplx{0.0, 0.0}, cplx{1.0, 0.0}};
+
+std::array<cplx, 4> mul2(const std::array<cplx, 4>& a,
+                         const std::array<cplx, 4>& b) {
+  return {a[0] * b[0] + a[1] * b[2], a[0] * b[1] + a[1] * b[3],
+          a[2] * b[0] + a[3] * b[2], a[2] * b[1] + a[3] * b[3]};
+}
+
+bool is_diagonal(const std::array<cplx, 4>& u, double tol = 1e-15) {
+  return std::abs(u[1]) <= tol && std::abs(u[2]) <= tol;
+}
+
+/// Diagonal unitaries with d0 == d1 are a global phase: no-ops on rho.
+bool is_global_phase(const std::array<cplx, 4>& u, double tol = 1e-15) {
+  return is_diagonal(u, tol) && std::abs(u[0] - u[3]) <= tol;
+}
+
+/// Per-qubit accumulator for the single-qubit fusion pass.
+struct Pending {
+  std::array<cplx, 4> u = kIdentity2;
+  bool any = false;
+};
+
+}  // namespace
+
+FusedChannel1 fuse_pulse_channel(const PulseNoise& noise) {
+  // Depolarizing(p) then thermal(gamma, lambda), written as one linear map
+  // per 2x2 block. Depolarizing: rho00 -> (keep+hp) rho00 + hp rho11 (and
+  // symmetrically), off-diagonals scale by keep. Thermal then mixes the
+  // populations (rho00 += gamma rho11; rho11 *= 1-gamma) and scales the
+  // coherences by s = sqrt((1-gamma)(1-lambda)). Composing gives:
+  const double p = noise.depolarizing_p;
+  const double keep = 1.0 - p;
+  const double hp = 0.5 * p;
+  const double gamma = noise.thermal.gamma;
+  const double lambda = noise.thermal.lambda;
+  const double kg = 1.0 - gamma;
+  const double s = std::sqrt(kg * (1.0 - lambda));
+  FusedChannel1 ch;
+  ch.d00_00 = (keep + hp) + gamma * hp;
+  ch.d00_11 = hp + gamma * (keep + hp);
+  ch.d11_00 = kg * hp;
+  ch.d11_11 = kg * (keep + hp);
+  ch.off = keep * s;
+  return ch;
+}
+
+FusedChannel2 fuse_cx_channel(const CxNoise& noise) {
+  FusedChannel2 ch;
+  ch.keep = 1.0 - noise.depolarizing_p;
+  ch.quarter_p = 0.25 * noise.depolarizing_p;
+  ch.gamma_a = noise.thermal_first.gamma;
+  ch.keep_a = 1.0 - ch.gamma_a;
+  ch.s_a = std::sqrt(ch.keep_a * (1.0 - noise.thermal_first.lambda));
+  ch.gamma_b = noise.thermal_second.gamma;
+  ch.keep_b = 1.0 - ch.gamma_b;
+  ch.s_b = std::sqrt(ch.keep_b * (1.0 - noise.thermal_second.lambda));
+  return ch;
+}
+
+CompiledProgram CompiledProgram::compile(const PhysicalCircuit& circuit,
+                                         const NoiseModel& noise,
+                                         const CompileOptions& options) {
+  require(noise.num_qubits() == 0 || noise.num_qubits() == circuit.num_qubits(),
+          "noise model qubit count mismatch");
+  const bool noisy = noise.num_qubits() > 0;
+  const int nq = circuit.num_qubits();
+
+  CompiledProgram program;
+  program.num_qubits_ = nq;
+  program.stats_.source_ops = circuit.ops().size();
+
+  std::vector<Pending> pending(static_cast<std::size_t>(nq));
+  // Per-qubit fused channels, precomputed once (circuits revisit qubits).
+  std::vector<FusedChannel1> pulse_ch;
+  if (noisy) {
+    pulse_ch.reserve(static_cast<std::size_t>(nq));
+    for (int q = 0; q < nq; ++q) pulse_ch.push_back(fuse_pulse_channel(noise.pulse_noise(q)));
+  }
+
+  auto flush = [&](int q) {
+    Pending& p = pending[static_cast<std::size_t>(q)];
+    if (!p.any) return;
+    if (!is_global_phase(p.u)) {
+      CompiledOp op;
+      op.q0 = q;
+      op.u = p.u;
+      if (is_diagonal(p.u)) {
+        op.kind = COpKind::Diag1;
+      } else {
+        op.kind = COpKind::Unitary1;
+        ++program.stats_.fused_unitaries;
+      }
+      program.ops_.push_back(op);
+    }
+    p.u = kIdentity2;
+    p.any = false;
+  };
+
+  auto accumulate = [&](int q, const std::array<cplx, 4>& m) {
+    Pending& p = pending[static_cast<std::size_t>(q)];
+    p.u = mul2(m, p.u);
+    p.any = true;
+    if (!options.fuse_single_qubit) flush(q);
+  };
+
+  auto emit_pulse_noise = [&](int q) {
+    if (!noisy) return;
+    const FusedChannel1& ch = pulse_ch[static_cast<std::size_t>(q)];
+    if (ch.is_identity()) return;
+    CompiledOp op;
+    op.kind = COpKind::Channel1;
+    op.q0 = q;
+    op.ch1 = ch;
+    program.ops_.push_back(op);
+    ++program.stats_.channels;
+  };
+
+  for (const PhysOp& phys : circuit.ops()) {
+    switch (phys.kind) {
+      case PhysOpKind::RZ: {
+        if (phys.input_index >= 0) {
+          // Data-dependent: stays symbolic so one program serves all samples.
+          flush(phys.q0);
+          CompiledOp op;
+          op.kind = COpKind::SymDiag1;
+          op.q0 = phys.q0;
+          op.angle_offset = phys.angle;
+          op.input_index = phys.input_index;
+          op.input_scale = phys.input_scale;
+          program.ops_.push_back(op);
+        } else {
+          const std::array<cplx, 4> rz{std::exp(cplx{0.0, -phys.angle / 2.0}),
+                                       0.0, 0.0,
+                                       std::exp(cplx{0.0, phys.angle / 2.0})};
+          accumulate(phys.q0, rz);
+        }
+        break;
+      }
+      case PhysOpKind::SX:
+        accumulate(phys.q0, sx_as_array2());
+        // The error channel must follow the pulse; if this pulse is
+        // noiseless the chain keeps fusing through it.
+        if (noisy && !pulse_ch[static_cast<std::size_t>(phys.q0)].is_identity()) {
+          flush(phys.q0);
+          emit_pulse_noise(phys.q0);
+        }
+        break;
+      case PhysOpKind::X:
+        accumulate(phys.q0, x_as_array2());
+        if (noisy && !pulse_ch[static_cast<std::size_t>(phys.q0)].is_identity()) {
+          flush(phys.q0);
+          emit_pulse_noise(phys.q0);
+        }
+        break;
+      case PhysOpKind::CX: {
+        flush(phys.q0);
+        flush(phys.q1);
+        CompiledOp op;
+        op.kind = COpKind::Cx;
+        op.q0 = phys.q0;
+        op.q1 = phys.q1;
+        program.ops_.push_back(op);
+        if (noisy) {
+          const int a = std::min(phys.q0, phys.q1);
+          const int b = std::max(phys.q0, phys.q1);
+          const FusedChannel2 ch = fuse_cx_channel(noise.cx_noise(a, b));
+          if (!ch.is_identity()) {
+            CompiledOp cop;
+            cop.kind = COpKind::Channel2;
+            cop.q0 = a;
+            cop.q1 = b;
+            cop.ch2 = ch;
+            program.ops_.push_back(cop);
+            ++program.stats_.channels;
+          }
+        }
+        break;
+      }
+    }
+  }
+  for (int q = 0; q < nq; ++q) flush(q);
+
+  if (options.drop_trailing_diagonal) {
+    // Diagonal unitaries commute with every error channel here (depolarizing,
+    // thermal relaxation, and classical readout confusion all act
+    // block-diagonally w.r.t. the computational basis), so a Diag1/SymDiag1
+    // followed only by channels on its qubit cannot change measurement
+    // statistics. Walk backwards and drop them.
+    std::vector<char> blocked(static_cast<std::size_t>(nq), 0);
+    std::vector<CompiledOp> kept;
+    kept.reserve(program.ops_.size());
+    for (auto it = program.ops_.rbegin(); it != program.ops_.rend(); ++it) {
+      const CompiledOp& op = *it;
+      switch (op.kind) {
+        case COpKind::Diag1:
+        case COpKind::SymDiag1:
+          if (!blocked[static_cast<std::size_t>(op.q0)]) {
+            ++program.stats_.dropped_trailing;
+            continue;  // dropped
+          }
+          break;
+        case COpKind::Unitary1:
+          blocked[static_cast<std::size_t>(op.q0)] = 1;
+          break;
+        case COpKind::Cx:
+          blocked[static_cast<std::size_t>(op.q0)] = 1;
+          blocked[static_cast<std::size_t>(op.q1)] = 1;
+          break;
+        case COpKind::Channel1:
+        case COpKind::Channel2:
+          break;  // channels commute with diagonals: do not block
+      }
+      kept.push_back(op);
+    }
+    program.ops_.assign(kept.rbegin(), kept.rend());
+  }
+
+  program.stats_.compiled_ops = program.ops_.size();
+  return program;
+}
+
+void CompiledProgram::run(DensityMatrix& dm, std::span<const double> x) const {
+  require(dm.num_qubits() == num_qubits_, "scratch matrix qubit count mismatch");
+  dm.reset();
+  for (const CompiledOp& op : ops_) {
+    switch (op.kind) {
+      case COpKind::Unitary1:
+        dm.apply1(op.q0, op.u);
+        break;
+      case COpKind::Diag1:
+        dm.apply_diag1(op.q0, op.u[0], op.u[3]);
+        break;
+      case COpKind::SymDiag1: {
+        require(static_cast<std::size_t>(op.input_index) < x.size(),
+                "input vector too short for compiled op");
+        const double angle =
+            op.input_scale * x[static_cast<std::size_t>(op.input_index)] +
+            op.angle_offset;
+        dm.apply_diag1(op.q0, std::exp(cplx{0.0, -angle / 2.0}),
+                       std::exp(cplx{0.0, angle / 2.0}));
+        break;
+      }
+      case COpKind::Cx:
+        dm.apply_cx(op.q0, op.q1);
+        break;
+      case COpKind::Channel1:
+        dm.apply_channel1(op.q0, op.ch1);
+        break;
+      case COpKind::Channel2:
+        dm.apply_channel2(op.q0, op.q1, op.ch2);
+        break;
+    }
+  }
+}
+
+}  // namespace qucad

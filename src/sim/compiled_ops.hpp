@@ -1,0 +1,96 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "noise/noise_model.hpp"
+#include "sim/density_matrix.hpp"
+#include "transpile/physical.hpp"
+
+namespace qucad {
+
+/// Op vocabulary of a compiled noisy program. The lowering pass turns a
+/// PhysicalCircuit + NoiseModel into a flat stream of these so that every
+/// density-matrix replay (one per evaluation sample) skips re-lowering,
+/// noise-model lookups, and redundant passes over rho.
+enum class COpKind : std::uint8_t {
+  Unitary1,  // fused 2x2 unitary on q0 (a whole RZ/SX/X chain segment)
+  Diag1,     // literal diagonal unitary on q0 (pure virtual-Z chain)
+  SymDiag1,  // data-dependent RZ: angle = input_scale * x[input_index] + offset
+  Cx,        // CX on (q0 = control, q1 = target), applied as a permutation
+  Channel1,  // fused depolarizing + thermal error site on q0
+  Channel2,  // fused CX error site on (q0 = min, q1 = max)
+};
+
+struct CompiledOp {
+  COpKind kind = COpKind::Diag1;
+  int q0 = 0;
+  int q1 = -1;
+  std::array<cplx, 4> u{};  // Unitary1 (full); Diag1 uses u[0], u[3]
+  FusedChannel1 ch1{};      // Channel1
+  FusedChannel2 ch2{};      // Channel2
+  double angle_offset = 0.0;  // SymDiag1
+  int input_index = -1;       // SymDiag1
+  double input_scale = 1.0;   // SymDiag1
+};
+
+struct CompileOptions {
+  /// Fuse adjacent single-qubit ops (between error sites) into one 2x2.
+  bool fuse_single_qubit = true;
+  /// Drop trailing diagonal ops (virtual Z, literal or symbolic) that can no
+  /// longer affect Z-basis measurement statistics. Preserves diagonal
+  /// probabilities and every <Z> exactly, but not off-diagonal entries of
+  /// the final density matrix — disable when the full state must match the
+  /// gate-by-gate reference.
+  bool drop_trailing_diagonal = true;
+};
+
+/// Compilation statistics, mainly for tests and perf records.
+struct CompileStats {
+  std::size_t source_ops = 0;     // PhysOps in the input circuit
+  std::size_t compiled_ops = 0;   // ops in the emitted stream
+  std::size_t fused_unitaries = 0;
+  std::size_t channels = 0;
+  std::size_t dropped_trailing = 0;
+};
+
+/// A PhysicalCircuit + NoiseModel lowered once into a replayable op stream.
+/// Data-dependent RZ angles stay symbolic, so one compiled program serves
+/// every evaluation sample. Thread-safe to run concurrently (immutable after
+/// compile; each run writes only the caller's DensityMatrix).
+class CompiledProgram {
+ public:
+  CompiledProgram() = default;
+
+  /// Lowers `circuit` with the calibrated channels of `noise` folded in.
+  /// Pass a default NoiseModel (num_qubits() == 0) for a noiseless program.
+  static CompiledProgram compile(const PhysicalCircuit& circuit,
+                                 const NoiseModel& noise,
+                                 const CompileOptions& options = {});
+
+  int num_qubits() const { return num_qubits_; }
+  const std::vector<CompiledOp>& ops() const { return ops_; }
+  const CompileStats& stats() const { return stats_; }
+
+  /// Replays the program on `dm` for input sample `x`. `dm` is reset first,
+  /// so a caller-owned scratch matrix can be reused across samples without
+  /// reallocation.
+  void run(DensityMatrix& dm, std::span<const double> x) const;
+
+ private:
+  int num_qubits_ = 0;
+  std::vector<CompiledOp> ops_;
+  CompileStats stats_;
+};
+
+/// Folds one pulse error site (depolarizing then thermal relaxation, the
+/// order NoisyExecutor::run_density applies) into closed-form coefficients.
+FusedChannel1 fuse_pulse_channel(const PulseNoise& noise);
+
+/// Folds one CX error site (two-qubit depolarizing, then thermal on min(q),
+/// then thermal on max(q)) into closed-form coefficients.
+FusedChannel2 fuse_cx_channel(const CxNoise& noise);
+
+}  // namespace qucad

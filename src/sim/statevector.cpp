@@ -20,6 +20,21 @@ std::array<cplx, 16> as_array4(const CMat& m) {
   return out;
 }
 
+const std::array<cplx, 4>& sx_as_array2() {
+  static const std::array<cplx, 4> m = as_array2(gates::SX());
+  return m;
+}
+
+const std::array<cplx, 4>& x_as_array2() {
+  static const std::array<cplx, 4> m = as_array2(gates::X());
+  return m;
+}
+
+const std::array<cplx, 16>& cx_as_array4() {
+  static const std::array<cplx, 16> m = as_array4(gates::CX());
+  return m;
+}
+
 StateVector::StateVector(int num_qubits)
     : num_qubits_(num_qubits),
       amps_(std::size_t{1} << num_qubits, cplx{0.0, 0.0}) {
@@ -79,9 +94,15 @@ void StateVector::apply2(int q0, int q1, const std::array<cplx, 16>& m) {
 }
 
 void StateVector::apply_gate(const Gate& gate, double angle) {
-  // Fast paths for the most common structured gates.
+  // Fast paths for the most common structured gates. They must enforce the
+  // same qubit-range preconditions as apply1/apply2: an out-of-range shift
+  // would otherwise index (and corrupt) memory past the amplitude buffer
+  // instead of throwing.
   switch (gate.kind) {
     case GateKind::CX: {
+      require(gate.q0 >= 0 && gate.q0 < num_qubits_ && gate.q1 >= 0 &&
+                  gate.q1 < num_qubits_ && gate.q0 != gate.q1,
+              "invalid qubit pair");
       const std::size_t mc = std::size_t{1} << gate.q0;
       const std::size_t mt = std::size_t{1} << gate.q1;
       for (std::size_t i = 0; i < amps_.size(); ++i) {
@@ -90,6 +111,8 @@ void StateVector::apply_gate(const Gate& gate, double angle) {
       return;
     }
     case GateKind::RZ: {
+      require(gate.q0 >= 0 && gate.q0 < num_qubits_,
+              "qubit index out of range");
       const cplx em = std::exp(cplx{0.0, -angle / 2.0});
       const cplx ep = std::exp(cplx{0.0, angle / 2.0});
       const std::size_t mq = std::size_t{1} << gate.q0;

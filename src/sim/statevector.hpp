@@ -61,4 +61,11 @@ std::array<cplx, 4> as_array2(const CMat& m);
 /// Converts a CMat (4x4) to the flat array form used by apply2.
 std::array<cplx, 16> as_array4(const CMat& m);
 
+/// Cached flat-array forms of the fixed physical basis gates, shared by the
+/// reference executor and the compiled op-stream so both paths apply
+/// byte-identical matrices.
+const std::array<cplx, 4>& sx_as_array2();
+const std::array<cplx, 4>& x_as_array2();
+const std::array<cplx, 16>& cx_as_array4();
+
 }  // namespace qucad

@@ -232,7 +232,9 @@ PhysicalCircuit lower_to_basis(const RoutedCircuit& routed,
     }
   }
 
-  // Map logical readout qubits through the routing permutation.
+  // Default readout: every logical qubit is a readout slot, mapped through
+  // the routing permutation (slot l = logical qubit l). lower_model narrows
+  // this to the model's declared readout qubits, in class order.
   out.readout_physical().clear();
   for (std::size_t l = 0; l < routed.final_mapping.size(); ++l) {
     out.readout_physical().push_back(routed.final_mapping[l]);

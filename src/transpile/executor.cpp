@@ -1,8 +1,10 @@
 #include "transpile/executor.hpp"
 
 #include <cmath>
+#include <memory>
 
 #include "common/require.hpp"
+#include "common/thread_pool.hpp"
 #include "linalg/gates.hpp"
 #include "noise/channels.hpp"
 
@@ -15,28 +17,24 @@ std::array<cplx, 4> rz_array(double angle) {
           std::exp(cplx{0.0, angle / 2.0})};
 }
 
-const std::array<cplx, 4>& sx_array() {
-  static const std::array<cplx, 4> m = as_array2(gates::SX());
-  return m;
-}
-
-const std::array<cplx, 4>& x_array() {
-  static const std::array<cplx, 4> m = as_array2(gates::X());
-  return m;
-}
-
-const std::array<cplx, 16>& cx_array() {
-  static const std::array<cplx, 16> m = as_array4(gates::CX());
-  return m;
-}
-
 }  // namespace
 
-NoisyExecutor::NoisyExecutor(PhysicalCircuit circuit, NoiseModel noise)
+NoisyExecutor::NoisyExecutor(PhysicalCircuit circuit, NoiseModel noise,
+                             CompileOptions compile_options)
     : circuit_(std::move(circuit)), noise_(std::move(noise)) {
   require(noise_.num_qubits() == 0 ||
               noise_.num_qubits() == circuit_.num_qubits(),
           "noise model qubit count mismatch");
+  program_ = CompiledProgram::compile(circuit_, noise_, compile_options);
+  if (noise_.num_qubits() > 0) {
+    // Confusion only matters on measured qubits; restrict to them once.
+    readout_restricted_.resize(static_cast<std::size_t>(circuit_.num_qubits()));
+    for (int pq : circuit_.readout_physical()) {
+      readout_restricted_[static_cast<std::size_t>(pq)] =
+          noise_.readout()[static_cast<std::size_t>(pq)];
+    }
+    apply_readout_ = true;
+  }
 }
 
 DensityMatrix NoisyExecutor::run_density(std::span<const double> x) const {
@@ -59,15 +57,15 @@ DensityMatrix NoisyExecutor::run_density(std::span<const double> x) const {
         break;
       }
       case PhysOpKind::SX:
-        dm.apply1(op.q0, sx_array());
+        dm.apply1(op.q0, sx_as_array2());
         if (noisy) apply_pulse_noise(op.q0);
         break;
       case PhysOpKind::X:
-        dm.apply1(op.q0, x_array());
+        dm.apply1(op.q0, x_as_array2());
         if (noisy) apply_pulse_noise(op.q0);
         break;
       case PhysOpKind::CX: {
-        dm.apply2(op.q0, op.q1, cx_array());
+        dm.apply2(op.q0, op.q1, cx_as_array4());
         if (noisy) {
           const int a = std::min(op.q0, op.q1);
           const int b = std::max(op.q0, op.q1);
@@ -103,38 +101,70 @@ std::vector<double> NoisyExecutor::z_from_probs(
   return z;
 }
 
-std::vector<double> NoisyExecutor::run_z(std::span<const double> x) const {
-  const DensityMatrix dm = run_density(x);
-  std::vector<double> probs = dm.diagonal_probabilities();
-  if (noise_.num_qubits() > 0) {
-    // Confusion only matters on measured qubits; restrict to them.
-    std::vector<ReadoutError> errors(static_cast<std::size_t>(circuit_.num_qubits()));
-    for (int pq : circuit_.readout_physical()) {
-      errors[static_cast<std::size_t>(pq)] = noise_.readout()[static_cast<std::size_t>(pq)];
-    }
-    probs = apply_readout_error(std::move(probs), errors);
+std::vector<double> NoisyExecutor::finish_probs(std::vector<double> probs,
+                                                int shots, Rng* rng) const {
+  if (apply_readout_) {
+    probs = apply_readout_error(std::move(probs), readout_restricted_);
   }
-  return z_from_probs(probs);
+  if (shots <= 0) return probs;
+  std::vector<double> counts(probs.size(), 0.0);
+  for (int s = 0; s < shots; ++s) {
+    counts[rng->weighted_index(probs)] += 1.0;
+  }
+  for (double& c : counts) c /= static_cast<double>(shots);
+  return counts;
+}
+
+std::vector<double> NoisyExecutor::run_z_into(std::span<const double> x,
+                                              DensityMatrix& dm, int shots,
+                                              Rng* rng) const {
+  program_.run(dm, x);
+  return z_from_probs(finish_probs(dm.diagonal_probabilities(), shots, rng));
+}
+
+std::vector<double> NoisyExecutor::run_z(std::span<const double> x) const {
+  DensityMatrix dm(circuit_.num_qubits());
+  return run_z_into(x, dm, 0, nullptr);
 }
 
 std::vector<double> NoisyExecutor::run_z_shots(std::span<const double> x,
                                                int shots, Rng& rng) const {
   require(shots > 0, "shots must be positive");
+  DensityMatrix dm(circuit_.num_qubits());
+  return run_z_into(x, dm, shots, &rng);
+}
+
+std::vector<std::vector<double>> NoisyExecutor::run_z_batch(
+    std::span<const std::vector<double>> xs, int shots,
+    std::uint64_t shot_seed, ThreadPool* pool) const {
+  std::vector<std::vector<double>> zs(xs.size());
+  ThreadPool& workers = pool ? *pool : ThreadPool::global();
+  workers.parallel_for(xs.size(), [&](std::size_t i) {
+    // One scratch matrix per worker thread, recycled across samples (and
+    // across batches when the qubit count matches) — replays of the compiled
+    // program stay allocation-free.
+    thread_local std::unique_ptr<DensityMatrix> scratch;
+    if (!scratch || scratch->num_qubits() != circuit_.num_qubits()) {
+      scratch = std::make_unique<DensityMatrix>(circuit_.num_qubits());
+    }
+    if (shots > 0) {
+      Rng rng(shot_seed + i);
+      zs[i] = run_z_into(xs[i], *scratch, shots, &rng);
+    } else {
+      zs[i] = run_z_into(xs[i], *scratch, 0, nullptr);
+    }
+  });
+  return zs;
+}
+
+std::vector<double> NoisyExecutor::run_z_reference(
+    std::span<const double> x) const {
   const DensityMatrix dm = run_density(x);
   std::vector<double> probs = dm.diagonal_probabilities();
-  if (noise_.num_qubits() > 0) {
-    std::vector<ReadoutError> errors(static_cast<std::size_t>(circuit_.num_qubits()));
-    for (int pq : circuit_.readout_physical()) {
-      errors[static_cast<std::size_t>(pq)] = noise_.readout()[static_cast<std::size_t>(pq)];
-    }
-    probs = apply_readout_error(std::move(probs), errors);
+  if (apply_readout_) {
+    probs = apply_readout_error(std::move(probs), readout_restricted_);
   }
-  std::vector<double> counts(probs.size(), 0.0);
-  for (int s = 0; s < shots; ++s) {
-    counts[rng.weighted_index(probs)] += 1.0;
-  }
-  for (double& c : counts) c /= static_cast<double>(shots);
-  return z_from_probs(counts);
+  return z_from_probs(probs);
 }
 
 StateVector run_physical_pure(const PhysicalCircuit& circuit,
@@ -146,13 +176,13 @@ StateVector run_physical_pure(const PhysicalCircuit& circuit,
         sv.apply1(op.q0, rz_array(op.resolve_angle(x)));
         break;
       case PhysOpKind::SX:
-        sv.apply1(op.q0, sx_array());
+        sv.apply1(op.q0, sx_as_array2());
         break;
       case PhysOpKind::X:
-        sv.apply1(op.q0, x_array());
+        sv.apply1(op.q0, x_as_array2());
         break;
       case PhysOpKind::CX:
-        sv.apply2(op.q0, op.q1, cx_array());
+        sv.apply2(op.q0, op.q1, cx_as_array4());
         break;
     }
   }

@@ -1,43 +1,81 @@
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "noise/noise_model.hpp"
+#include "sim/compiled_ops.hpp"
 #include "sim/density_matrix.hpp"
 #include "sim/statevector.hpp"
 #include "transpile/physical.hpp"
 
 namespace qucad {
 
+class ThreadPool;
+
 /// Executes a lowered physical circuit. With a noise model attached, every
 /// physical pulse is followed by its calibrated channel (exact density-
 /// matrix evolution, matching what Qiskit Aer converges to at infinite
 /// shots); RZ is virtual and noiseless; measurement applies the classical
 /// readout confusion.
+///
+/// Construction compiles the circuit + noise model once into a fused op
+/// stream (sim/compiled_ops.hpp); run_z / run_z_shots / run_z_batch replay
+/// that program per sample. The original gate-by-gate walk is kept as
+/// run_density / run_z_reference — the ground truth the compiled path is
+/// tested against.
+///
+/// All run methods are const and safe to call concurrently.
 class NoisyExecutor {
  public:
   /// Takes copies: the executor is self-contained and cannot dangle when
   /// callers pass temporaries (both arguments are cheap relative to a
   /// single density-matrix run).
-  NoisyExecutor(PhysicalCircuit circuit, NoiseModel noise);
+  NoisyExecutor(PhysicalCircuit circuit, NoiseModel noise,
+                CompileOptions compile_options = {});
 
-  /// <Z> of each *logical* qubit (routed through the final mapping), exact.
+  /// <Z> of each readout slot, ordered by position in
+  /// circuit.readout_physical() — NOT indexed by qubit id. Exact.
   std::vector<double> run_z(std::span<const double> x) const;
 
   /// Shot-sampled estimate of run_z.
   std::vector<double> run_z_shots(std::span<const double> x, int shots,
                                   Rng& rng) const;
 
-  /// Final density matrix (before readout error), mainly for tests.
+  /// Batched run_z over many samples, spread over `pool` (nullptr = the
+  /// process-global pool) with per-thread density-matrix scratch reuse.
+  /// shots <= 0 gives exact expectations; otherwise sample i draws `shots`
+  /// shots from an Rng seeded with shot_seed + i (matching noisy_evaluate).
+  std::vector<std::vector<double>> run_z_batch(
+      std::span<const std::vector<double>> xs, int shots = 0,
+      std::uint64_t shot_seed = 99, ThreadPool* pool = nullptr) const;
+
+  /// Final density matrix (before readout error) via the legacy gate-by-gate
+  /// walk. Reference path for the compiled engine's equivalence tests.
   DensityMatrix run_density(std::span<const double> x) const;
 
+  /// run_z recomputed through run_density — the uncompiled reference.
+  std::vector<double> run_z_reference(std::span<const double> x) const;
+
+  const PhysicalCircuit& circuit() const { return circuit_; }
+  const NoiseModel& noise() const { return noise_; }
+  const CompiledProgram& program() const { return program_; }
+
  private:
+  std::vector<double> run_z_into(std::span<const double> x, DensityMatrix& dm,
+                                 int shots, Rng* rng) const;
   std::vector<double> z_from_probs(const std::vector<double>& probs) const;
+  std::vector<double> finish_probs(std::vector<double> probs, int shots,
+                                   Rng* rng) const;
 
   PhysicalCircuit circuit_;
   NoiseModel noise_;
+  CompiledProgram program_;
+  /// Readout confusion restricted to measured qubits, precomputed once.
+  std::vector<ReadoutError> readout_restricted_;
+  bool apply_readout_ = false;
 };
 
 /// Noise-free reference: runs the physical circuit on a state vector.

@@ -19,6 +19,10 @@ TranspiledModel transpile_model(const Circuit& logical,
 
   TranspiledModel model;
   model.routed = route_circuit(logical, coupling, layout);
+  model.readout_logical = readout_logical;
+  for (int l : readout_logical) {
+    require(l >= 0 && l < logical.num_qubits(), "readout qubit out of range");
+  }
 
   // First physical occurrence of each trainable parameter. Parameters are
   // expected to appear on exactly one gate in QNN ansatze; if shared, the
@@ -40,7 +44,19 @@ TranspiledModel transpile_model(const Circuit& logical,
 PhysicalCircuit lower_model(const TranspiledModel& model,
                             std::span<const double> theta,
                             const BasisOptions& options) {
-  return lower_to_basis(model.routed, theta, options);
+  PhysicalCircuit phys = lower_to_basis(model.routed, theta, options);
+  // lower_to_basis defaults readout_physical() to the full logical->physical
+  // mapping (every logical qubit is a readout slot). When the model names
+  // explicit readout qubits, restrict to those, positionally: slot k of the
+  // lowered circuit is class k of the model. NoisyExecutor::run_z output is
+  // ordered by these slots, not indexed by qubit id.
+  if (!model.readout_logical.empty()) {
+    phys.readout_physical().clear();
+    for (int l : model.readout_logical) {
+      phys.readout_physical().push_back(model.readout_physical(l));
+    }
+  }
+  return phys;
 }
 
 }  // namespace qucad

@@ -30,6 +30,10 @@ struct GateAssociation {
 struct TranspiledModel {
   RoutedCircuit routed;
   std::vector<GateAssociation> associations;  // one per trainable parameter
+  /// Logical readout qubits, in class order, as passed to transpile_model.
+  /// lower_model maps these through the final routing permutation so the
+  /// lowered circuit's readout_physical() is positional: slot k is class k.
+  std::vector<int> readout_logical;
 
   int num_physical_qubits() const { return routed.circuit.num_qubits(); }
 

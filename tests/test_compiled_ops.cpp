@@ -1,0 +1,321 @@
+// Equivalence suite for the compiled noisy-execution engine: the fused
+// op-stream (sim/compiled_ops.hpp) must reproduce the legacy gate-by-gate
+// density-matrix walk to 1e-10 on random transpiled circuits, with noise on
+// and off, shots on and off — plus unit checks for the fused channel
+// kernels, the CX permutation fast path, and the executor cache.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/mnist_synth.hpp"
+#include "noise/calibration_history.hpp"
+#include "qnn/ansatz.hpp"
+#include "qnn/encoding.hpp"
+#include "qnn/eval_cache.hpp"
+#include "qnn/evaluator.hpp"
+#include "transpile/transpiler.hpp"
+
+#include "test_support.hpp"
+
+namespace qucad {
+namespace {
+
+using test::kAgreementTol;
+
+Calibration noisy_calibration(int nq, const std::vector<std::pair<int, int>>& edges,
+                              Rng& rng) {
+  Calibration cal(nq, edges);
+  for (int q = 0; q < nq; ++q) {
+    cal.set_sx_error(q, rng.uniform(0.0005, 0.01));
+    cal.set_readout(q, ReadoutError{rng.uniform(0.005, 0.06), rng.uniform(0.005, 0.06)});
+    const double t1 = rng.uniform(40.0, 150.0);
+    cal.set_t1_t2(q, t1, rng.uniform(0.5 * t1, 1.8 * t1));
+  }
+  for (const auto& [a, b] : edges) {
+    cal.set_cx_error(a, b, rng.uniform(0.004, 0.08));
+  }
+  return cal;
+}
+
+/// Routes a random logical circuit onto a line device and lowers it with
+/// some data-dependent RZ slots so the compiled program keeps symbolic ops.
+PhysicalCircuit random_transpiled(Rng& rng, int nq, int gates, int inputs) {
+  Circuit c = test::random_circuit(rng, nq, gates);
+  for (int i = 0; i < inputs; ++i) {
+    c.rz(rng.integer(0, nq - 1), input(i));
+    c.ry(rng.integer(0, nq - 1), input(i));
+  }
+  std::vector<std::pair<int, int>> edges;
+  for (int q = 0; q + 1 < nq; ++q) edges.emplace_back(q, q + 1);
+  const RoutedCircuit routed =
+      route_circuit(c, CouplingMap(nq, edges), trivial_layout(nq));
+  return lower_to_basis(routed, {});
+}
+
+class CompiledOpsTest : public test::SeededTest {};
+
+TEST_F(CompiledOpsTest, MatchesReferenceOnRandomCircuitsWithNoise) {
+  for (int trial = 0; trial < 6; ++trial) {
+    const int nq = 3 + trial % 3;  // 3..5 qubits
+    const PhysicalCircuit phys = random_transpiled(rng(), nq, 14 + trial, 2);
+    std::vector<std::pair<int, int>> edges;
+    for (int q = 0; q + 1 < nq; ++q) edges.emplace_back(q, q + 1);
+    const Calibration cal = noisy_calibration(nq, edges, rng());
+    const NoisyExecutor executor(phys, NoiseModel(cal));
+
+    std::vector<double> x{0.3, 1.1};
+    const auto z_ref = executor.run_z_reference(x);
+    const auto z_compiled = executor.run_z(x);
+    ASSERT_EQ(z_ref.size(), z_compiled.size());
+    for (std::size_t k = 0; k < z_ref.size(); ++k) {
+      EXPECT_NEAR(z_compiled[k], z_ref[k], kAgreementTol)
+          << "trial " << trial << " slot " << k;
+    }
+  }
+}
+
+TEST_F(CompiledOpsTest, MatchesReferenceNoiseless) {
+  for (int trial = 0; trial < 4; ++trial) {
+    const int nq = 3 + trial % 2;
+    const PhysicalCircuit phys = random_transpiled(rng(), nq, 12, 1);
+    const NoisyExecutor executor(phys, NoiseModel{});
+
+    const std::vector<double> x{0.7};
+    const auto z_ref = executor.run_z_reference(x);
+    const auto z_compiled = executor.run_z(x);
+    ASSERT_EQ(z_ref.size(), z_compiled.size());
+    for (std::size_t k = 0; k < z_ref.size(); ++k) {
+      EXPECT_NEAR(z_compiled[k], z_ref[k], kAgreementTol);
+    }
+    // Noiseless chains fuse aggressively: the stream must be much shorter
+    // than the source circuit.
+    EXPECT_LT(executor.program().stats().compiled_ops,
+              executor.program().stats().source_ops);
+  }
+}
+
+TEST_F(CompiledOpsTest, FullDensityMatrixMatchesWithElisionDisabled) {
+  // With trailing-diagonal elision off, the compiled program reproduces the
+  // reference density matrix entry-for-entry, off-diagonals included.
+  const int nq = 4;
+  const PhysicalCircuit phys = random_transpiled(rng(), nq, 16, 2);
+  std::vector<std::pair<int, int>> edges;
+  for (int q = 0; q + 1 < nq; ++q) edges.emplace_back(q, q + 1);
+  const Calibration cal = noisy_calibration(nq, edges, rng());
+
+  CompileOptions opts;
+  opts.drop_trailing_diagonal = false;
+  const NoisyExecutor executor(phys, NoiseModel(cal), opts);
+
+  const std::vector<double> x{0.4, 2.0};
+  const DensityMatrix ref = executor.run_density(x);
+  DensityMatrix compiled(nq);
+  executor.program().run(compiled, x);
+  ASSERT_EQ(ref.data().size(), compiled.data().size());
+  for (std::size_t i = 0; i < ref.data().size(); ++i) {
+    EXPECT_NEAR(std::abs(compiled.data()[i] - ref.data()[i]), 0.0,
+                kAgreementTol)
+        << "rho entry " << i;
+  }
+}
+
+TEST_F(CompiledOpsTest, FusionDisabledStillMatches) {
+  const PhysicalCircuit phys = random_transpiled(rng(), 4, 15, 2);
+  std::vector<std::pair<int, int>> edges{{0, 1}, {1, 2}, {2, 3}};
+  const Calibration cal = noisy_calibration(4, edges, rng());
+
+  CompileOptions unfused;
+  unfused.fuse_single_qubit = false;
+  unfused.drop_trailing_diagonal = false;
+  const NoisyExecutor a(phys, NoiseModel(cal), unfused);
+  const NoisyExecutor b(phys, NoiseModel(cal));
+
+  const std::vector<double> x{1.2, 0.1};
+  const auto za = a.run_z(x);
+  const auto zb = b.run_z(x);
+  const auto zr = a.run_z_reference(x);
+  ASSERT_EQ(za.size(), zb.size());
+  for (std::size_t k = 0; k < za.size(); ++k) {
+    EXPECT_NEAR(za[k], zr[k], kAgreementTol);
+    EXPECT_NEAR(zb[k], zr[k], kAgreementTol);
+  }
+}
+
+TEST_F(CompiledOpsTest, ShotSamplingMatchesLegacySeedForSeed) {
+  // Shots draw from the same per-sample probabilities, so with identical
+  // seeds the compiled path must converge to the same estimates as exact
+  // expectations, and be deterministic run to run.
+  const PhysicalCircuit phys = random_transpiled(rng(), 3, 10, 1);
+  std::vector<std::pair<int, int>> edges{{0, 1}, {1, 2}};
+  const Calibration cal = noisy_calibration(3, edges, rng());
+  const NoisyExecutor executor(phys, NoiseModel(cal));
+
+  const std::vector<double> x{0.9};
+  Rng r1(42), r2(42);
+  const auto s1 = executor.run_z_shots(x, 4000, r1);
+  const auto s2 = executor.run_z_shots(x, 4000, r2);
+  ASSERT_EQ(s1.size(), s2.size());
+  for (std::size_t k = 0; k < s1.size(); ++k) {
+    EXPECT_DOUBLE_EQ(s1[k], s2[k]) << "shot sampling must be deterministic";
+  }
+  const auto exact = executor.run_z(x);
+  for (std::size_t k = 0; k < s1.size(); ++k) {
+    EXPECT_NEAR(s1[k], exact[k], 0.06);
+  }
+}
+
+TEST_F(CompiledOpsTest, BatchMatchesSingleRuns) {
+  const PhysicalCircuit phys = random_transpiled(rng(), 4, 12, 2);
+  std::vector<std::pair<int, int>> edges{{0, 1}, {1, 2}, {2, 3}};
+  const Calibration cal = noisy_calibration(4, edges, rng());
+  const NoisyExecutor executor(phys, NoiseModel(cal));
+
+  std::vector<std::vector<double>> xs;
+  for (int i = 0; i < 8; ++i) {
+    xs.push_back({rng().uniform(0.0, 3.0), rng().uniform(0.0, 3.0)});
+  }
+  const auto batch = executor.run_z_batch(xs);
+  ASSERT_EQ(batch.size(), xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const auto single = executor.run_z(xs[i]);
+    ASSERT_EQ(batch[i].size(), single.size());
+    for (std::size_t k = 0; k < single.size(); ++k) {
+      EXPECT_NEAR(batch[i][k], single[k], 1e-14);
+    }
+  }
+
+  // Shot batches reproduce run_z_shots with the matching per-sample seed.
+  const auto shot_batch = executor.run_z_batch(xs, 500, 77);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    Rng rng_i(77 + i);
+    const auto single = executor.run_z_shots(xs[i], 500, rng_i);
+    for (std::size_t k = 0; k < single.size(); ++k) {
+      EXPECT_DOUBLE_EQ(shot_batch[i][k], single[k]);
+    }
+  }
+}
+
+TEST(FusedChannels, PulseChannelMatchesSequentialApplication) {
+  PulseNoise pn;
+  pn.depolarizing_p = 0.03;
+  pn.thermal = ThermalChannel{0.02, 0.015};
+
+  Rng rng(5);
+  const Circuit c = test::random_circuit(rng, 3, 8);
+  DensityMatrix fused(3), seq(3);
+  fused.run(c);
+  seq.run(c);
+
+  for (int q = 0; q < 3; ++q) {
+    fused.apply_channel1(q, fuse_pulse_channel(pn));
+    seq.apply_depolarizing1(q, pn.depolarizing_p);
+    seq.apply_thermal1(q, pn.thermal.gamma, pn.thermal.lambda);
+  }
+  for (std::size_t i = 0; i < fused.data().size(); ++i) {
+    EXPECT_NEAR(std::abs(fused.data()[i] - seq.data()[i]), 0.0, test::kTightTol);
+  }
+  EXPECT_NEAR(fused.trace_real(), 1.0, test::kTightTol);
+}
+
+TEST(FusedChannels, CxChannelMatchesSequentialApplication) {
+  CxNoise cn;
+  cn.depolarizing_p = 0.08;
+  cn.thermal_first = ThermalChannel{0.03, 0.01};
+  cn.thermal_second = ThermalChannel{0.015, 0.025};
+
+  Rng rng(9);
+  const Circuit c = test::random_circuit(rng, 4, 10);
+  DensityMatrix fused(4), seq(4);
+  fused.run(c);
+  seq.run(c);
+
+  fused.apply_channel2(1, 3, fuse_cx_channel(cn));
+  seq.apply_depolarizing2(1, 3, cn.depolarizing_p);
+  seq.apply_thermal1(1, cn.thermal_first.gamma, cn.thermal_first.lambda);
+  seq.apply_thermal1(3, cn.thermal_second.gamma, cn.thermal_second.lambda);
+  for (std::size_t i = 0; i < fused.data().size(); ++i) {
+    EXPECT_NEAR(std::abs(fused.data()[i] - seq.data()[i]), 0.0, test::kTightTol);
+  }
+  EXPECT_NEAR(fused.trace_real(), 1.0, test::kTightTol);
+}
+
+TEST(FusedChannels, CxPermutationMatchesApply2) {
+  Rng rng(11);
+  const Circuit c = test::random_circuit(rng, 4, 12);
+  DensityMatrix perm(4), mat(4);
+  perm.run(c);
+  mat.run(c);
+  perm.apply_cx(2, 0);
+  mat.apply_gate(Gate{GateKind::CX, 2, 0, {}, 0.0}, 0.0);
+  for (std::size_t i = 0; i < perm.data().size(); ++i) {
+    EXPECT_NEAR(std::abs(perm.data()[i] - mat.data()[i]), 0.0, test::kTightTol);
+  }
+}
+
+TEST(CompiledEvalCache, HitsOnRepeatedConfigurationMissesOnChange) {
+  CompiledEvalCache cache(8);
+  const CalibrationHistory h(FluctuationScenario::belem(), 4, 3);
+  const QnnModel model = build_paper_model(4, 4, 2, 1);
+  auto theta = init_params(model, 3);
+  const TranspiledModel transpiled = transpile_model(
+      model.circuit, model.readout_qubits, CouplingMap::belem(), &h.day(0));
+
+  const auto a = cache.get_or_build(model, transpiled, theta, h.day(0), {});
+  const auto b = cache.get_or_build(model, transpiled, theta, h.day(0), {});
+  EXPECT_EQ(a.get(), b.get()) << "same configuration must share one executor";
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  // Different theta, different day, different noise options: all misses.
+  theta[0] += 0.25;
+  const auto c = cache.get_or_build(model, transpiled, theta, h.day(0), {});
+  EXPECT_NE(a.get(), c.get());
+  const auto d = cache.get_or_build(model, transpiled, theta, h.day(1), {});
+  EXPECT_NE(c.get(), d.get());
+  NoiseModelOptions no_thermal;
+  no_thermal.include_thermal_relaxation = false;
+  const auto e = cache.get_or_build(model, transpiled, theta, h.day(1), no_thermal);
+  EXPECT_NE(d.get(), e.get());
+  EXPECT_EQ(cache.stats().misses, 4u);
+}
+
+TEST(CompiledEvalCache, EvictsLeastRecentlyUsed) {
+  CompiledEvalCache cache(2);
+  const CalibrationHistory h(FluctuationScenario::belem(), 4, 3);
+  const QnnModel model = build_paper_model(4, 4, 2, 1);
+  const auto theta = init_params(model, 3);
+  const TranspiledModel transpiled = transpile_model(
+      model.circuit, model.readout_qubits, CouplingMap::belem(), &h.day(0));
+
+  cache.get_or_build(model, transpiled, theta, h.day(0), {});
+  cache.get_or_build(model, transpiled, theta, h.day(1), {});
+  cache.get_or_build(model, transpiled, theta, h.day(2), {});  // evicts day 0
+  EXPECT_EQ(cache.stats().entries, 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  cache.get_or_build(model, transpiled, theta, h.day(0), {});  // rebuild
+  EXPECT_EQ(cache.stats().misses, 4u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(CompiledEvalCache, CachedEvaluationMatchesUncached) {
+  const CalibrationHistory h(FluctuationScenario::belem(), 4, 3);
+  const QnnModel model = build_paper_model(4, 4, 2, 2);
+  const auto theta = init_params(model, 5);
+  const TranspiledModel transpiled = transpile_model(
+      model.circuit, model.readout_qubits, CouplingMap::belem(), &h.day(0));
+  const Dataset data = make_mnist4(24, 11).take(16);
+
+  NoisyEvalOptions cached;
+  NoisyEvalOptions uncached;
+  uncached.use_cache = false;
+  const auto r1 = noisy_evaluate(model, transpiled, theta, data, h.day(1), cached);
+  const auto r2 = noisy_evaluate(model, transpiled, theta, data, h.day(1), uncached);
+  const auto r3 = noisy_evaluate(model, transpiled, theta, data, h.day(1), cached);
+  EXPECT_EQ(r1.predictions, r2.predictions);
+  EXPECT_EQ(r1.predictions, r3.predictions);
+  EXPECT_DOUBLE_EQ(r1.accuracy, r2.accuracy);
+}
+
+}  // namespace
+}  // namespace qucad

@@ -41,6 +41,42 @@ TEST(Dataset, SplitPreservesOrderWithoutShuffle) {
   EXPECT_DOUBLE_EQ(split.test.features[0][0], 90.0);
 }
 
+TEST(Dataset, SplitOfTinyDatasetKeepsBothPartitionsNonEmpty) {
+  // Rounding used to hand tiny datasets an empty partition (3 samples at
+  // fraction 0.1 -> test_count 0; at 0.9 -> train_count 0), which only blew
+  // up later as "empty evaluation set". The split must clamp instead.
+  Dataset d;
+  d.num_classes = 2;
+  for (int i = 0; i < 3; ++i) {
+    d.features.push_back({static_cast<double>(i)});
+    d.labels.push_back(i % 2);
+  }
+  const TrainTestSplit low = split_dataset(d, 0.1);
+  EXPECT_EQ(low.train.size(), 2u);
+  EXPECT_EQ(low.test.size(), 1u);
+  const TrainTestSplit high = split_dataset(d, 0.9);
+  EXPECT_EQ(high.train.size(), 1u);
+  EXPECT_EQ(high.test.size(), 2u);
+
+  Dataset two;
+  two.num_classes = 2;
+  two.features = {{0.0}, {1.0}};
+  two.labels = {0, 1};
+  const TrainTestSplit pair = split_dataset(two, 0.5);
+  EXPECT_EQ(pair.train.size(), 1u);
+  EXPECT_EQ(pair.test.size(), 1u);
+}
+
+TEST(Dataset, SplitRejectsDatasetsTooSmallToPartition) {
+  Dataset one;
+  one.num_classes = 2;
+  one.features = {{0.0}};
+  one.labels = {0};
+  EXPECT_THROW(split_dataset(one, 0.5), PreconditionError);
+  Dataset empty;
+  EXPECT_THROW(split_dataset(empty, 0.5), PreconditionError);
+}
+
 TEST(Dataset, ShuffledSplitIsDeterministicPerSeed) {
   Dataset d;
   d.num_classes = 2;

@@ -268,6 +268,59 @@ TEST(Evaluator, ZeroNoiseMatchesNoiseFree) {
   EXPECT_NEAR(noisy, clean, 1e-9);
 }
 
+TEST(Evaluator, NonContiguousReadoutQubitsClassifyCorrectly) {
+  // Regression: class logits must be read positionally from the executor's
+  // readout slots. Indexing the z vector by qubit id read slot 1 for class 0
+  // and ran past the end (slot 3 of a 2-slot vector) for class 1 whenever
+  // readout_qubits != {0..k-1}.
+  QnnModel model;
+  model.circuit = angle_encoder(4, 4);
+  model.circuit.append(build_paper_ansatz(4, 1));
+  model.num_classes = 2;
+  model.readout_qubits = {1, 3};
+  const std::vector<double> theta = init_params(model, 31);
+
+  Dataset raw = make_seismic(48, 9);
+  const Dataset data = FeatureScaler::fit(raw).transform(raw);
+
+  Calibration zero(5, CouplingMap::belem().edges());
+  const TranspiledModel transpiled = transpile_model(
+      model.circuit, model.readout_qubits, CouplingMap::belem(), nullptr);
+  ASSERT_EQ(transpiled.readout_logical, model.readout_qubits);
+
+  NoisyEvalOptions options;
+  options.noise.include_thermal_relaxation = false;
+  options.noise.include_readout_error = false;
+  const NoisyEvalResult result =
+      noisy_evaluate(model, transpiled, theta, data, zero, options);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(result.predictions[i], predict(model, theta, data.features[i]))
+        << "sample " << i;
+  }
+  EXPECT_NEAR(result.accuracy, noise_free_accuracy(model, theta, data), 1e-12);
+
+  // Routing must matter: place logical qubits on scattered physical homes
+  // so logical and physical ids genuinely diverge, then re-check the whole
+  // positional pipeline through that permutation.
+  TranspiledModel routed;
+  routed.routed =
+      route_circuit(model.circuit, CouplingMap::belem(), Layout{4, 2, 0, 1});
+  routed.readout_logical = model.readout_qubits;
+  ASSERT_TRUE(routed.readout_physical(1) != 1 || routed.readout_physical(3) != 3)
+      << "layout failed to separate logical from physical ids";
+  const PhysicalCircuit phys = lower_model(routed, theta);
+  ASSERT_EQ(phys.readout_physical().size(), 2u);
+  EXPECT_EQ(phys.readout_physical()[0], routed.readout_physical(1));
+  EXPECT_EQ(phys.readout_physical()[1], routed.readout_physical(3));
+
+  const NoisyEvalResult permuted =
+      noisy_evaluate(model, routed, theta, data, zero, options);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(permuted.predictions[i], predict(model, theta, data.features[i]))
+        << "sample " << i << " (scattered layout)";
+  }
+}
+
 TEST(Evaluator, NoiseDegradesTrainedAccuracy) {
   const QnnModel model = build_paper_model(4, 4, 2, 1);
   std::vector<double> theta = init_params(model, 23);

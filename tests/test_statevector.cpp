@@ -87,6 +87,27 @@ TEST(StateVector, CxFastPathMatchesMatrix) {
   test::expect_amplitudes_near(fast.amplitudes(), slow.amplitudes(), kTol);
 }
 
+TEST(StateVector, FastPathsValidateQubitRange) {
+  // Regression: the CX/RZ fast paths in apply_gate used to skip the range
+  // checks apply1/apply2 enforce, so an invalid gate shifted past the
+  // amplitude buffer and corrupted memory instead of throwing.
+  StateVector sv(2);
+  EXPECT_THROW(sv.apply_gate(Gate{GateKind::CX, 0, 2, ParamRef{}, 0.0}, 0.0),
+               PreconditionError);
+  EXPECT_THROW(sv.apply_gate(Gate{GateKind::CX, -1, 1, ParamRef{}, 0.0}, 0.0),
+               PreconditionError);
+  EXPECT_THROW(sv.apply_gate(Gate{GateKind::CX, 1, 1, ParamRef{}, 0.0}, 0.0),
+               PreconditionError);
+  EXPECT_THROW(sv.apply_gate(Gate{GateKind::RZ, 2, -1, ParamRef{}, 0.0}, 0.4),
+               PreconditionError);
+  EXPECT_THROW(sv.apply_gate(Gate{GateKind::RZ, -1, -1, ParamRef{}, 0.0}, 0.4),
+               PreconditionError);
+  // Valid gates still pass through the fast paths untouched.
+  sv.apply_gate(Gate{GateKind::RZ, 1, -1, ParamRef{}, 0.0}, 0.4);
+  sv.apply_gate(Gate{GateKind::CX, 0, 1, ParamRef{}, 0.0}, 0.0);
+  EXPECT_NEAR(sv.norm(), 1.0, 1e-12);
+}
+
 TEST(StateVector, ControlledRotationRespectsControl) {
   // Control |0>: CRY acts as identity.
   {
