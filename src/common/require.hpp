@@ -23,4 +23,16 @@ inline void require(bool condition, const std::string& message,
   }
 }
 
+/// Literal-message overload: the hot-path simulator kernels call require()
+/// per op application, and the std::string overload would heap-allocate the
+/// message eagerly on every successful check. This one materializes the
+/// string only on failure.
+inline void require(bool condition, const char* message,
+                    std::source_location loc = std::source_location::current()) {
+  if (!condition) {
+    throw PreconditionError(std::string(loc.file_name()) + ":" +
+                            std::to_string(loc.line()) + ": " + message);
+  }
+}
+
 }  // namespace qucad

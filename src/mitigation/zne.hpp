@@ -18,8 +18,12 @@ struct ZneOptions {
 
 /// Zero-noise extrapolation [17]: executes the circuit at amplified noise
 /// levels (rate scaling — the digital analogue of pulse stretching) and
-/// Richardson-extrapolates each <Z_q> to the zero-noise limit with a
-/// least-squares linear fit over the scale factors.
+/// Richardson-extrapolates each readout expectation to the zero-noise limit
+/// with a least-squares linear fit over the scale factors.
+///
+/// Output follows the positional readout contract: entry k is the
+/// extrapolated `<Z>` of readout SLOT k (circuit.readout_physical()[k], i.e.
+/// class k) — ordered like NoisyExecutor::run_z, never indexed by qubit id.
 ///
 /// This is the "mitigate at one moment" family the paper contrasts with
 /// QuCAD: it reduces bias on a fixed calibration but must be re-run from

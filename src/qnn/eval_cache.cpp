@@ -29,17 +29,7 @@ struct Fnv {
 };
 
 template <typename Mixer>
-void hash_configuration(Mixer& h, const QnnModel& model,
-                        const TranspiledModel& transpiled,
-                        std::span<const double> theta,
-                        const Calibration& calib,
-                        const NoiseModelOptions& options) {
-  // Readout slots (class order) — they pin the executor's z ordering.
-  h.mix(static_cast<std::uint64_t>(model.readout_qubits.size()));
-  for (int q : model.readout_qubits) h.mix(q);
-
-  // Routed structure: gate list + final mapping.
-  const Circuit& c = transpiled.routed.circuit;
+void hash_circuit_structure(Mixer& h, const Circuit& c) {
   h.mix(c.num_qubits());
   h.mix(static_cast<std::uint64_t>(c.gates().size()));
   for (const Gate& g : c.gates()) {
@@ -50,6 +40,22 @@ void hash_configuration(Mixer& h, const QnnModel& model,
     h.mix(g.param.index);
     h.mix(g.value);
   }
+}
+
+template <typename Mixer>
+void hash_configuration(Mixer& h, const QnnModel& model,
+                        const TranspiledModel& transpiled,
+                        std::span<const double> theta,
+                        const Calibration& calib,
+                        const NoiseModelOptions& options) {
+  h.mix(std::uint64_t{0x4e});  // key-domain tag: 'N'oisy executor
+
+  // Readout slots (class order) — they pin the executor's z ordering.
+  h.mix(static_cast<std::uint64_t>(model.readout_qubits.size()));
+  for (int q : model.readout_qubits) h.mix(q);
+
+  // Routed structure: gate list + final mapping.
+  hash_circuit_structure(h, transpiled.routed.circuit);
   for (int p : transpiled.routed.final_mapping) h.mix(p);
 
   // Bound parameters.
@@ -79,6 +85,19 @@ void hash_configuration(Mixer& h, const QnnModel& model,
   h.mix(options.include_readout_error);
 }
 
+/// Pure-executor key: structure + readout slots only. Theta never enters —
+/// trainable angles stay symbolic through lowering, so one entry serves
+/// every optimizer step (a theta update is a hit, results recomputed at
+/// replay time).
+template <typename Mixer>
+void hash_pure_configuration(Mixer& h, const Circuit& circuit,
+                             const std::vector<int>& readout_qubits) {
+  h.mix(std::uint64_t{0x50});  // key-domain tag: 'P'ure executor
+  h.mix(static_cast<std::uint64_t>(readout_qubits.size()));
+  for (int q : readout_qubits) h.mix(q);
+  hash_circuit_structure(h, circuit);
+}
+
 }  // namespace
 
 std::shared_ptr<const NoisyExecutor> build_noisy_executor(
@@ -102,6 +121,28 @@ std::shared_ptr<const NoisyExecutor> build_noisy_executor(
       std::move(phys), NoiseModel(calibration, noise_options));
 }
 
+std::shared_ptr<const PureExecutor> build_pure_executor(
+    const Circuit& circuit, const std::vector<int>& readout_qubits) {
+  require(!readout_qubits.empty(), "no readout qubits");
+  // Trivial routing: the circuit already lives on its final wires (a logical
+  // model circuit, or a routed circuit trained on physical qubits).
+  RoutedCircuit wrapped;
+  wrapped.circuit = circuit;
+  wrapped.final_mapping.resize(static_cast<std::size_t>(circuit.num_qubits()));
+  for (int q = 0; q < circuit.num_qubits(); ++q) {
+    wrapped.final_mapping[static_cast<std::size_t>(q)] = q;
+  }
+  BasisOptions basis;
+  basis.keep_trainable_symbolic = true;
+  PhysicalCircuit phys = lower_to_basis(wrapped, {}, basis);
+  phys.readout_physical().clear();
+  for (int q : readout_qubits) {
+    require(q >= 0 && q < circuit.num_qubits(), "readout qubit out of range");
+    phys.readout_physical().push_back(q);
+  }
+  return std::make_shared<const PureExecutor>(std::move(phys));
+}
+
 CompiledEvalCache::CompiledEvalCache(std::size_t capacity)
     : capacity_(capacity) {
   require(capacity > 0, "cache capacity must be positive");
@@ -113,17 +154,9 @@ CompiledEvalCache& CompiledEvalCache::global() {
   return cache;
 }
 
-std::shared_ptr<const NoisyExecutor> CompiledEvalCache::get_or_build(
-    const QnnModel& model, const TranspiledModel& transpiled,
-    std::span<const double> theta, const Calibration& calibration,
-    const NoiseModelOptions& noise_options) {
-  // Two independent 64-bit mixes (distinct offsets and odd multipliers).
-  Fnv h1(0xcbf29ce484222325ULL, 0x100000001b3ULL);
-  Fnv h2(0x84222325cbf29ce4ULL, 0x9e3779b97f4a7c15ULL);
-  hash_configuration(h1, model, transpiled, theta, calibration, noise_options);
-  hash_configuration(h2, model, transpiled, theta, calibration, noise_options);
-  const Key key{h1.state, h2.state};
-
+template <typename Build>
+CompiledEvalCache::Entry CompiledEvalCache::get_or_build_entry(const Key& key,
+                                                              Build&& build) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = index_.find(key);
@@ -137,8 +170,7 @@ std::shared_ptr<const NoisyExecutor> CompiledEvalCache::get_or_build(
 
   // Build outside the lock: compilation is the expensive part and distinct
   // configurations should not serialize on each other.
-  auto executor =
-      build_noisy_executor(model, transpiled, theta, calibration, noise_options);
+  Entry entry = build();
 
   std::lock_guard<std::mutex> lock(mutex_);
   if (const auto it = index_.find(key); it != index_.end()) {
@@ -146,11 +178,41 @@ std::shared_ptr<const NoisyExecutor> CompiledEvalCache::get_or_build(
     lru_.splice(lru_.begin(), lru_, it->second);
     return it->second->second;
   }
-  lru_.emplace_front(key, executor);
+  lru_.emplace_front(key, entry);
   index_.emplace(key, lru_.begin());
   evict_to_capacity_locked();
   stats_.entries = lru_.size();
-  return executor;
+  return entry;
+}
+
+std::shared_ptr<const NoisyExecutor> CompiledEvalCache::get_or_build(
+    const QnnModel& model, const TranspiledModel& transpiled,
+    std::span<const double> theta, const Calibration& calibration,
+    const NoiseModelOptions& noise_options) {
+  // Two independent 64-bit mixes (distinct offsets and odd multipliers).
+  Fnv h1(0xcbf29ce484222325ULL, 0x100000001b3ULL);
+  Fnv h2(0x84222325cbf29ce4ULL, 0x9e3779b97f4a7c15ULL);
+  hash_configuration(h1, model, transpiled, theta, calibration, noise_options);
+  hash_configuration(h2, model, transpiled, theta, calibration, noise_options);
+  return get_or_build_entry(Key{h1.state, h2.state}, [&] {
+           return Entry{build_noisy_executor(model, transpiled, theta,
+                                             calibration, noise_options),
+                        nullptr};
+         })
+      .noisy;
+}
+
+std::shared_ptr<const PureExecutor> CompiledEvalCache::get_or_build_pure(
+    const Circuit& circuit, const std::vector<int>& readout_qubits) {
+  Fnv h1(0xcbf29ce484222325ULL, 0x100000001b3ULL);
+  Fnv h2(0x84222325cbf29ce4ULL, 0x9e3779b97f4a7c15ULL);
+  hash_pure_configuration(h1, circuit, readout_qubits);
+  hash_pure_configuration(h2, circuit, readout_qubits);
+  return get_or_build_entry(Key{h1.state, h2.state}, [&] {
+           return Entry{nullptr,
+                        build_pure_executor(circuit, readout_qubits)};
+         })
+      .pure;
 }
 
 void CompiledEvalCache::evict_to_capacity_locked() {

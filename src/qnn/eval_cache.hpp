@@ -25,6 +25,15 @@ std::shared_ptr<const NoisyExecutor> build_noisy_executor(
     std::span<const double> theta, const Calibration& calibration,
     const NoiseModelOptions& noise_options);
 
+/// Builds the compiled statevector engine for training/evaluating `circuit`
+/// noise-free: wraps it in a trivial routing (qubit ids preserved), lowers
+/// to the physical basis with BOTH input and trainable angles symbolic, pins
+/// readout slot k to readout_qubits[k], and compiles the op-stream once.
+/// theta is deliberately NOT an input — the same executor serves every
+/// optimizer step.
+std::shared_ptr<const PureExecutor> build_pure_executor(
+    const Circuit& circuit, const std::vector<int>& readout_qubits);
+
 struct EvalCacheStats {
   std::size_t hits = 0;
   std::size_t misses = 0;
@@ -33,28 +42,46 @@ struct EvalCacheStats {
   std::size_t capacity = 0;
 };
 
-/// LRU cache of compiled noisy executors keyed by (transpiled structure,
-/// theta, calibration, noise options). Repository construction and keep-best
-/// loops evaluate the same configuration against many samples and revisit
-/// configurations across optimization rounds; caching stops them re-lowering
-/// the circuit and rebuilding the noise model on every noisy_evaluate call.
+/// LRU cache of compiled executors. It holds two kinds of entries in one
+/// LRU, distinguished by their key domains:
 ///
-/// Keys are 128-bit content hashes of the inputs (structure, parameter and
-/// calibration values, options), so the cache is value-based: any caller
-/// presenting the same configuration shares one compiled executor. Entries
-/// are handed out as shared_ptr, so eviction never invalidates a running
-/// evaluation. Thread-safe.
+///  - Noisy (density-matrix) executors, keyed by a 128-bit content hash of
+///    (readout slots, routed structure, THETA, calibration values, noise
+///    options). Theta is part of the key because lowering binds it — the
+///    compression peephole specializes the circuit to the parameter values.
+///  - Pure (statevector, training-path) executors, keyed ONLY by
+///    (readout slots, circuit structure): both input and trainable angles
+///    stay symbolic through lowering, so a theta update is a cache HIT on
+///    the same compiled program — the whole point of the symbolic-theta
+///    path. No stale results are possible: theta is supplied at replay
+///    time, never baked into the entry.
+///
+/// Repository construction, keep-best loops and fine-tuning revisit the same
+/// configurations across rounds; caching stops them re-lowering the circuit
+/// (and rebuilding the noise model) on every call.
+///
+/// Keys are value-based content hashes, so any caller presenting the same
+/// configuration shares one compiled executor. Entries are handed out as
+/// shared_ptr, so eviction never invalidates a running evaluation.
+/// Thread-safe.
 class CompiledEvalCache {
  public:
   explicit CompiledEvalCache(std::size_t capacity = 64);
 
-  /// Process-wide cache used by noisy_evaluate (NoisyEvalOptions::use_cache).
+  /// Process-wide cache used by noisy_evaluate (NoisyEvalOptions::use_cache)
+  /// and the compiled training path (TrainConfig::engine).
   static CompiledEvalCache& global();
 
   std::shared_ptr<const NoisyExecutor> get_or_build(
       const QnnModel& model, const TranspiledModel& transpiled,
       std::span<const double> theta, const Calibration& calibration,
       const NoiseModelOptions& noise_options);
+
+  /// Pure-executor lookup; see build_pure_executor for what is compiled.
+  /// Keyed on structure only (circuit gate list with its symbolic parameter
+  /// references and literal values, plus the readout slots) — NOT on theta.
+  std::shared_ptr<const PureExecutor> get_or_build_pure(
+      const Circuit& circuit, const std::vector<int>& readout_qubits);
 
   EvalCacheStats stats() const;
   void clear();
@@ -72,8 +99,16 @@ class CompiledEvalCache {
       return static_cast<std::size_t>(k.h1 ^ (k.h2 * 0x9e3779b97f4a7c15ULL));
     }
   };
-  using LruList = std::list<std::pair<Key, std::shared_ptr<const NoisyExecutor>>>;
+  /// One cached executor; exactly one pointer is set, matching the key's
+  /// domain (a tag byte mixed into the hash keeps the domains disjoint).
+  struct Entry {
+    std::shared_ptr<const NoisyExecutor> noisy;
+    std::shared_ptr<const PureExecutor> pure;
+  };
+  using LruList = std::list<std::pair<Key, Entry>>;
 
+  template <typename Build>
+  Entry get_or_build_entry(const Key& key, Build&& build);
   void evict_to_capacity_locked();
 
   mutable std::mutex mutex_;

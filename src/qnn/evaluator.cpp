@@ -51,9 +51,17 @@ double noisy_accuracy(const QnnModel& model, const TranspiledModel& transpiled,
 double noise_free_accuracy(const QnnModel& model, std::span<const double> theta,
                            const Dataset& data) {
   require(data.size() > 0, "empty evaluation set");
+  // Replay the structure-keyed compiled statevector program per sample
+  // instead of re-walking the logical gate list (predict()): the executor is
+  // shared across samples, thetas, and repeated harness calls. Logits stay
+  // positional — slot k is class k.
+  const std::shared_ptr<const PureExecutor> executor =
+      CompiledEvalCache::global().get_or_build_pure(model.circuit,
+                                                    model.readout_qubits);
   std::vector<int> correct(data.size(), 0);
   parallel_for(data.size(), [&](std::size_t i) {
-    correct[i] = predict(model, theta, data.features[i]) == data.labels[i] ? 1 : 0;
+    const std::vector<double> logits = executor->run_z(data.features[i], theta);
+    correct[i] = static_cast<int>(argmax(logits)) == data.labels[i] ? 1 : 0;
   });
   std::size_t total = 0;
   for (int c : correct) total += static_cast<std::size_t>(c);

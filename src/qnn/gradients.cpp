@@ -107,4 +107,95 @@ BatchGrad batch_loss(const Circuit& circuit,
   return out;
 }
 
+BatchGrad batch_loss_grad(const PureExecutor& executor,
+                          std::span<const double> theta, const Dataset& data,
+                          std::span<const std::size_t> indices,
+                          double logit_scale) {
+  require(!indices.empty(), "empty batch");
+  require(executor.num_trainable() <= static_cast<int>(theta.size()),
+          "theta smaller than the executor's trainable parameter space");
+  const std::size_t batch = indices.size();
+  const std::size_t num_params = theta.size();
+  const int n = executor.circuit().num_qubits();
+  const std::vector<int>& slots = executor.circuit().readout_physical();
+
+  std::vector<double> losses(batch, 0.0);
+  std::vector<int> correct(batch, 0);
+  std::vector<std::vector<double>> grads(batch);
+
+  parallel_for(batch, [&](std::size_t b) {
+    const std::size_t row = indices[b];
+    const std::vector<double>& x = data.features[row];
+    const int label = data.labels[row];
+
+    // Per-worker workspace recycled across samples (and batches): the
+    // compiled replays stay allocation-free.
+    thread_local AdjointWorkspace workspace;
+
+    // Filled by the weight hook (which the adjoint invokes exactly once,
+    // after the forward replay) and reused for the loss below.
+    std::vector<double> logits;
+    const AdjointResult result = executor.adjoint(
+        theta, x,
+        [&](const std::vector<double>& z_all) {
+          // z_all is per qubit id; logits are positional over readout slots.
+          logits.reserve(slots.size());
+          for (int q : slots) logits.push_back(z_all[static_cast<std::size_t>(q)]);
+          const std::vector<double> dlogits =
+              cross_entropy_grad(logits, label, logit_scale);
+          std::vector<double> weights(static_cast<std::size_t>(n), 0.0);
+          for (std::size_t c = 0; c < slots.size(); ++c) {
+            weights[static_cast<std::size_t>(slots[c])] += dlogits[c];
+          }
+          return weights;
+        },
+        &workspace);
+
+    losses[b] = cross_entropy(logits, label, logit_scale);
+    correct[b] = static_cast<int>(argmax(logits)) == label ? 1 : 0;
+    grads[b] = result.gradients;
+    grads[b].resize(num_params, 0.0);
+  });
+
+  BatchGrad out;
+  out.grad.assign(num_params, 0.0);
+  for (std::size_t b = 0; b < batch; ++b) {
+    out.loss += losses[b];
+    out.accuracy += correct[b];
+    for (std::size_t p = 0; p < num_params; ++p) out.grad[p] += grads[b][p];
+  }
+  const double inv = 1.0 / static_cast<double>(batch);
+  out.loss *= inv;
+  out.accuracy *= inv;
+  for (double& g : out.grad) g *= inv;
+  return out;
+}
+
+BatchGrad batch_loss(const PureExecutor& executor,
+                     std::span<const double> theta, const Dataset& data,
+                     std::span<const std::size_t> indices, double logit_scale) {
+  require(!indices.empty(), "empty batch");
+  const std::size_t batch = indices.size();
+
+  std::vector<double> losses(batch, 0.0);
+  std::vector<int> correct(batch, 0);
+
+  parallel_for(batch, [&](std::size_t b) {
+    const std::size_t row = indices[b];
+    const std::vector<double> logits =
+        executor.run_z(data.features[row], theta);
+    losses[b] = cross_entropy(logits, data.labels[row], logit_scale);
+    correct[b] = static_cast<int>(argmax(logits)) == data.labels[row] ? 1 : 0;
+  });
+
+  BatchGrad out;
+  for (std::size_t b = 0; b < batch; ++b) {
+    out.loss += losses[b];
+    out.accuracy += correct[b];
+  }
+  out.loss /= static_cast<double>(batch);
+  out.accuracy /= static_cast<double>(batch);
+  return out;
+}
+
 }  // namespace qucad

@@ -5,6 +5,7 @@
 
 #include "circuit/circuit.hpp"
 #include "data/dataset.hpp"
+#include "transpile/executor.hpp"
 
 namespace qucad {
 
@@ -30,6 +31,23 @@ BatchGrad batch_loss_grad(const Circuit& circuit,
 /// Loss/accuracy only (skips the backward sweep).
 BatchGrad batch_loss(const Circuit& circuit,
                      const std::vector<int>& readout_qubits,
+                     std::span<const double> theta, const Dataset& data,
+                     std::span<const std::size_t> indices, double logit_scale);
+
+/// Compiled-engine variant of batch_loss_grad: replays the executor's
+/// symbolic-theta program (one compiled forward + one compiled adjoint per
+/// sample, per-thread workspace reuse) instead of re-walking a gate list.
+/// Class logits are read positionally from the executor's readout slots —
+/// slot k is class k. Agrees with the reference batch_loss_grad on the
+/// corresponding logical circuit at 1e-10 (same unitary up to global
+/// phase); gradients are sized to theta.size().
+BatchGrad batch_loss_grad(const PureExecutor& executor,
+                          std::span<const double> theta, const Dataset& data,
+                          std::span<const std::size_t> indices,
+                          double logit_scale);
+
+/// Compiled-engine variant of batch_loss (forward replays only).
+BatchGrad batch_loss(const PureExecutor& executor,
                      std::span<const double> theta, const Dataset& data,
                      std::span<const std::size_t> indices, double logit_scale);
 

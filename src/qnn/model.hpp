@@ -31,7 +31,8 @@ QnnModel build_paper_model(int num_qubits, int num_features, int num_classes,
 /// Uniform [-pi, pi) initialization.
 std::vector<double> init_params(const QnnModel& model, std::uint64_t seed);
 
-/// Noise-free forward pass: <Z> of each readout qubit.
+/// Noise-free forward pass: logit k is <Z> of readout_qubits[k] (class
+/// order — the positional readout contract).
 std::vector<double> forward_logits(const QnnModel& model,
                                    std::span<const double> theta,
                                    std::span<const double> x);

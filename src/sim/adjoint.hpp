@@ -11,22 +11,22 @@ namespace qucad {
 
 /// Result of one adjoint-differentiation pass.
 struct AdjointResult {
-  /// <Z_q> for every qubit in the final state.
+  /// `<Z_q>` for every qubit in the final state.
   std::vector<double> z_expectations;
-  /// d<O_eff>/d(theta_i) for every trainable parameter, where
+  /// `d<O_eff>/d(theta_i)` for every trainable parameter, where
   /// O_eff = sum_q weight(q) * Z_q with weights chosen by the caller after
   /// seeing the forward expectations.
   std::vector<double> gradients;
 };
 
-/// Maps forward-pass <Z> expectations to per-qubit observable weights. This
+/// Maps forward-pass `<Z>` expectations to per-qubit observable weights. This
 /// is the hook that lets a single backward pass compute the gradient of any
 /// scalar function of the expectations (e.g. cross-entropy after softmax):
-/// pass the upstream derivative dL/d<Z_q> as the weight of Z_q.
+/// pass the upstream derivative `dL/d<Z_q>` as the weight of Z_q.
 using ObservableWeightFn =
     std::function<std::vector<double>(const std::vector<double>& z_expectations)>;
 
-/// Exact gradient of <O_eff> via adjoint differentiation (one forward and
+/// Exact gradient of `<O_eff>` via adjoint differentiation (one forward and
 /// one reverse sweep, O(gates) regardless of parameter count).
 ///
 /// Supports all rotation gates: d/dt exp(-i t G/2) = (-i G/2) exp(-i t G/2)

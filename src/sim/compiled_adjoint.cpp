@@ -1,0 +1,303 @@
+#include "sim/compiled_adjoint.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "common/require.hpp"
+
+namespace qucad {
+
+namespace {
+
+/// The reverse sweep walks ket and lam in lockstep through the same
+/// inverse ops, so every kernel below transforms BOTH amplitude arrays in a
+/// single loop — one pass of loop/index overhead instead of two, and the
+/// per-parameter gradient overlap folds into the same pass (it reads the
+/// pre-transform values, which the loop already has in registers).
+
+using Amps = std::vector<cplx>;
+
+std::array<cplx, 4> dagger2(const std::array<cplx, 4>& m) {
+  return {std::conj(m[0]), std::conj(m[2]), std::conj(m[1]), std::conj(m[3])};
+}
+
+void unapply2_both(Amps& ket, Amps& lam, int q, const std::array<cplx, 4>& md) {
+  const std::size_t stride = std::size_t{1} << q;
+  const std::size_t dim = ket.size();
+  for (std::size_t base = 0; base < dim; base += 2 * stride) {
+    for (std::size_t off = 0; off < stride; ++off) {
+      const std::size_t i0 = base + off;
+      const std::size_t i1 = i0 + stride;
+      const cplx k0 = ket[i0], k1 = ket[i1];
+      ket[i0] = md[0] * k0 + md[1] * k1;
+      ket[i1] = md[2] * k0 + md[3] * k1;
+      const cplx l0 = lam[i0], l1 = lam[i1];
+      lam[i0] = md[0] * l0 + md[1] * l1;
+      lam[i1] = md[2] * l0 + md[3] * l1;
+    }
+  }
+}
+
+/// Same as unapply2_both, plus the Z-generator overlap of the op being
+/// un-applied: returns Im(<lam| Z_q |ket>) evaluated on the PRE-transform
+/// (i.e. after-the-op) states, which is exactly the adjoint-gradient
+/// contribution point.
+double unapply2_both_with_overlap(Amps& ket, Amps& lam, int q,
+                                  const std::array<cplx, 4>& md) {
+  const std::size_t stride = std::size_t{1} << q;
+  const std::size_t dim = ket.size();
+  double acc = 0.0;
+  for (std::size_t base = 0; base < dim; base += 2 * stride) {
+    for (std::size_t off = 0; off < stride; ++off) {
+      const std::size_t i0 = base + off;
+      const std::size_t i1 = i0 + stride;
+      const cplx k0 = ket[i0], k1 = ket[i1];
+      const cplx l0 = lam[i0], l1 = lam[i1];
+      // Im(conj(l) * k), with the Z sign flip on the bit-1 half.
+      acc += (l0.real() * k0.imag() - l0.imag() * k0.real()) -
+             (l1.real() * k1.imag() - l1.imag() * k1.real());
+      ket[i0] = md[0] * k0 + md[1] * k1;
+      ket[i1] = md[2] * k0 + md[3] * k1;
+      lam[i0] = md[0] * l0 + md[1] * l1;
+      lam[i1] = md[2] * l0 + md[3] * l1;
+    }
+  }
+  return acc;
+}
+
+void undiag_both(Amps& ket, Amps& lam, int q, cplx d0, cplx d1) {
+  const std::size_t mq = std::size_t{1} << q;
+  const std::size_t dim = ket.size();
+  for (std::size_t i = 0; i < dim; ++i) {
+    const cplx d = (i & mq) ? d1 : d0;
+    ket[i] *= d;
+    lam[i] *= d;
+  }
+}
+
+double undiag_both_with_overlap(Amps& ket, Amps& lam, int q, cplx d0, cplx d1) {
+  const std::size_t mq = std::size_t{1} << q;
+  const std::size_t dim = ket.size();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < dim; ++i) {
+    const cplx k = ket[i], l = lam[i];
+    const double im = l.real() * k.imag() - l.imag() * k.real();
+    if (i & mq) {
+      acc -= im;
+      ket[i] = k * d1;
+      lam[i] = l * d1;
+    } else {
+      acc += im;
+      ket[i] = k * d0;
+      lam[i] = l * d0;
+    }
+  }
+  return acc;
+}
+
+/// Un-applies a CRot2 (interior matrix `m` already resolved; the inverse is
+/// the same block structure built from m^dagger) from both states.
+void uncrot_both(Amps& ket, Amps& lam, int control, int target,
+                 const std::array<cplx, 4>& md) {
+  const std::size_t mc = std::size_t{1} << control;
+  const std::size_t mt = std::size_t{1} << target;
+  const std::size_t dim = ket.size();
+  auto transform = [&](Amps& a, std::size_t i00, std::size_t i01,
+                       std::size_t i10, std::size_t i11) {
+    const cplx a00 = a[i00], a01 = a[i01];
+    a[i00] = md[0] * a00 + md[1] * a01;
+    a[i01] = md[2] * a00 + md[3] * a01;
+    const cplx a10 = a[i10], a11 = a[i11];
+    a[i10] = md[3] * a10 + md[2] * a11;
+    a[i11] = md[1] * a10 + md[0] * a11;
+  };
+  for (std::size_t i = 0; i < dim; ++i) {
+    if ((i & mc) || (i & mt)) continue;
+    const std::size_t i01 = i | mt;
+    const std::size_t i10 = i | mc;
+    const std::size_t i11 = i | mc | mt;
+    transform(ket, i, i01, i10, i11);
+    transform(lam, i, i01, i10, i11);
+  }
+}
+
+/// uncrot_both plus the generator overlap Im(<lam| G~ |ket>) on the
+/// pre-transform states, where G~ = CX (I (x) A) CX and A = u2 Z u2^dagger
+/// (the RZ generator conjugated through the post-rotation factor).
+double uncrot_both_with_overlap(Amps& ket, Amps& lam, int control, int target,
+                                const std::array<cplx, 4>& md,
+                                const std::array<cplx, 4>& a_mat) {
+  const std::size_t mc = std::size_t{1} << control;
+  const std::size_t mt = std::size_t{1} << target;
+  const std::size_t dim = ket.size();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < dim; ++i) {
+    if ((i & mc) || (i & mt)) continue;
+    const std::size_t i01 = i | mt;
+    const std::size_t i10 = i | mc;
+    const std::size_t i11 = i | mc | mt;
+
+    const cplx k00 = ket[i], k01 = ket[i01], k10 = ket[i10], k11 = ket[i11];
+    const cplx l00 = lam[i], l01 = lam[i01], l10 = lam[i10], l11 = lam[i11];
+    // Control-0 pair sees A; control-1 pair sees X A X.
+    const cplx g0 = std::conj(l00) * (a_mat[0] * k00 + a_mat[1] * k01) +
+                    std::conj(l01) * (a_mat[2] * k00 + a_mat[3] * k01);
+    const cplx g1 = std::conj(l10) * (a_mat[3] * k10 + a_mat[2] * k11) +
+                    std::conj(l11) * (a_mat[1] * k10 + a_mat[0] * k11);
+    acc += g0.imag() + g1.imag();
+
+    ket[i] = md[0] * k00 + md[1] * k01;
+    ket[i01] = md[2] * k00 + md[3] * k01;
+    ket[i10] = md[3] * k10 + md[2] * k11;
+    ket[i11] = md[1] * k10 + md[0] * k11;
+    lam[i] = md[0] * l00 + md[1] * l01;
+    lam[i01] = md[2] * l00 + md[3] * l01;
+    lam[i10] = md[3] * l10 + md[2] * l11;
+    lam[i11] = md[1] * l10 + md[0] * l11;
+  }
+  return acc;
+}
+
+/// A = u2 Z u2^dagger: the Z generator of the interior RZ conjugated through
+/// the CRot2 post-rotation factor. Hermitian with A10 = conj(A01).
+std::array<cplx, 4> conjugated_z_generator(const std::array<cplx, 4>& p) {
+  const cplx a00 = p[0] * std::conj(p[0]) - p[1] * std::conj(p[1]);
+  const cplx a01 = p[0] * std::conj(p[2]) - p[1] * std::conj(p[3]);
+  const cplx a11 = p[2] * std::conj(p[2]) - p[3] * std::conj(p[3]);
+  return {a00, a01, std::conj(a01), a11};
+}
+
+void uncx_both(Amps& ket, Amps& lam, int control, int target) {
+  const std::size_t mc = std::size_t{1} << control;
+  const std::size_t mt = std::size_t{1} << target;
+  const std::size_t dim = ket.size();
+  for (std::size_t i = 0; i < dim; ++i) {
+    if ((i & mc) && !(i & mt)) {
+      std::swap(ket[i], ket[i | mt]);
+      std::swap(lam[i], lam[i | mt]);
+    }
+  }
+}
+
+}  // namespace
+
+AdjointResult compiled_adjoint_gradient(const CompiledProgram& program,
+                                        std::span<const double> theta,
+                                        std::span<const double> x,
+                                        const ObservableWeightFn& weight_fn,
+                                        AdjointWorkspace* workspace) {
+  require(!program.has_channels(),
+          "compiled adjoint requires a noiseless program");
+  const int n = program.num_qubits();
+
+  AdjointWorkspace local;
+  AdjointWorkspace& ws = workspace ? *workspace : local;
+  if (ws.ket.num_qubits() != n) {
+    ws.ket = StateVector(n);
+    ws.lam = StateVector(n);
+  }
+
+  // Forward replay, recording the resolved symbolic matrices so the reverse
+  // sweep below daggers them instead of re-resolving each op.
+  program.run_pure(ws.ket, x, theta, &ws.resolved);
+
+  AdjointResult result;
+  result.z_expectations = ws.ket.all_z_expectations();
+
+  const std::vector<double> weights = weight_fn(result.z_expectations);
+  require(weights.size() == static_cast<std::size_t>(n),
+          "observable weight vector must have one entry per qubit");
+
+  const std::size_t num_params = std::max(
+      static_cast<std::size_t>(program.num_trainable()), theta.size());
+  result.gradients.assign(num_params, 0.0);
+  if (program.num_trainable() == 0) return result;
+
+  auto& ket = ws.ket.amplitudes();
+  auto& lam = ws.lam.amplitudes();
+
+  // lam = O_eff |psi>, O_eff = sum_q w_q Z_q diagonal in the computational
+  // basis.
+  for (std::size_t i = 0; i < ket.size(); ++i) {
+    double w_sum = 0.0;
+    for (int q = 0; q < n; ++q) {
+      const double z = (i >> q) & 1 ? -1.0 : 1.0;
+      w_sum += weights[static_cast<std::size_t>(q)] * z;
+    }
+    lam[i] = w_sum * ket[i];
+  }
+
+  // Reverse sweep: maintain ket = |psi_k>, lam = U_{k+1}^dag..U_N^dag O|psi>.
+  // For a symbolic op with a trainable slot, dU/dtheta = theta_scale *
+  // (-i Z/2) U (the RZ generator sits at the top of the op even for SymUni1,
+  // whose absorbed prefix precedes the RZ), so the contribution is
+  // theta_scale * Im(<lam| Z |psi_after>) — computed inside the same loop
+  // that un-applies the op from both states.
+  const auto& ops = program.ops();
+  for (std::size_t idx = ops.size(); idx-- > 0;) {
+    const CompiledOp& op = ops[idx];
+    switch (op.kind) {
+      case COpKind::Unitary1:
+        unapply2_both(ket, lam, op.q0, dagger2(op.u));
+        break;
+      case COpKind::Diag1:
+        undiag_both(ket, lam, op.q0, std::conj(op.u[0]), std::conj(op.u[3]));
+        break;
+      case COpKind::SymDiag1: {
+        const cplx d0 = std::conj(ws.resolved[idx][0]);  // inverse diagonal
+        const cplx d1 = std::conj(ws.resolved[idx][3]);
+        if (op.theta_index >= 0) {
+          result.gradients[static_cast<std::size_t>(op.theta_index)] +=
+              op.theta_scale * undiag_both_with_overlap(ket, lam, op.q0, d0, d1);
+        } else {
+          undiag_both(ket, lam, op.q0, d0, d1);
+        }
+        break;
+      }
+      case COpKind::SymUni1: {
+        const auto md = dagger2(ws.resolved[idx]);
+        if (op.theta_index >= 0) {
+          result.gradients[static_cast<std::size_t>(op.theta_index)] +=
+              op.theta_scale *
+              unapply2_both_with_overlap(ket, lam, op.q0, md);
+        } else {
+          unapply2_both(ket, lam, op.q0, md);
+        }
+        break;
+      }
+      case COpKind::CRot2: {
+        const auto md = dagger2(ws.resolved[idx]);
+        if (op.theta_index >= 0) {
+          result.gradients[static_cast<std::size_t>(op.theta_index)] +=
+              op.theta_scale *
+              uncrot_both_with_overlap(ket, lam, op.q0, op.q1, md,
+                                       conjugated_z_generator(op.u2));
+        } else {
+          uncrot_both(ket, lam, op.q0, op.q1, md);
+        }
+        break;
+      }
+      case COpKind::Cx:
+        uncx_both(ket, lam, op.q0, op.q1);
+        break;
+      case COpKind::Channel1:
+      case COpKind::Channel2:
+        require(false, "cannot un-apply a channel op");
+        break;
+    }
+  }
+  return result;
+}
+
+AdjointResult compiled_adjoint_gradient(const CompiledProgram& program,
+                                        std::span<const double> theta,
+                                        std::span<const double> x,
+                                        std::vector<double> fixed_weights,
+                                        AdjointWorkspace* workspace) {
+  return compiled_adjoint_gradient(
+      program, theta, x,
+      [w = std::move(fixed_weights)](const std::vector<double>&) { return w; },
+      workspace);
+}
+
+}  // namespace qucad

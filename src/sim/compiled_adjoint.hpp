@@ -1,0 +1,66 @@
+#pragma once
+
+#include <span>
+
+#include "sim/adjoint.hpp"
+#include "sim/compiled_ops.hpp"
+
+namespace qucad {
+
+/// \file
+/// Compiled adjoint differentiation: the gradient half of the statevector
+/// training path. Where sim/adjoint.hpp walks a logical Circuit gate by gate
+/// (building a CMat per gate and copying the full amplitude vector per
+/// trainable parameter), this engine replays a CompiledProgram's fused
+/// op-stream forward once, then sweeps it backward un-applying each op in
+/// place. Trainable parameters only ever appear as symbolic RZ angles
+/// (SymDiag1 / SymUni1 / CRot2 ops with theta_index >= 0), whose generator
+/// is Z (conjugated through the CRot2 post-factor) — so each per-parameter
+/// contribution is a single allocation-free pass
+///   `d<O>/dtheta_t` += theta_scale * Im(`<lambda| G |psi>`)
+/// folded into the same loop that un-applies the op from both states (the
+/// chain rule through the affine angle is the theta_scale factor; a
+/// parameter split across several RZs by the lowering, e.g. the +-t/2 pair
+/// of a controlled rotation, accumulates one contribution per op).
+///
+/// Because the physical circuit implements the same unitary as its logical
+/// source up to global phase, `<Z>(theta, x)` — and therefore every gradient —
+/// agrees with the logical-circuit adjoint exactly (tested at 1e-10).
+
+/// Reusable scratch for compiled_adjoint_gradient. Thread it through batch
+/// loops (one workspace per worker thread) so per-sample replays allocate
+/// nothing; the workspace is resized on first use and whenever the qubit
+/// count changes. A workspace must not be shared between concurrent calls.
+struct AdjointWorkspace {
+  StateVector ket{1};  ///< forward state |psi>
+  StateVector lam{1};  ///< adjoint state, U_{k+1}^dag..U_N^dag O|psi>
+  /// Angle-resolved symbolic-op matrices recorded by the forward replay and
+  /// daggered by the reverse sweep (see CompiledProgram::run_pure).
+  std::vector<std::array<cplx, 4>> resolved;
+};
+
+/// Exact gradient of `<O_eff>` via adjoint differentiation over a compiled
+/// noiseless program (program.has_channels() must be false). One forward and
+/// one reverse replay of the op-stream, O(compiled ops) regardless of
+/// parameter count.
+///
+/// `weight_fn` receives `<Z_q>` for every qubit (indexed by qubit id, matching
+/// the sim/adjoint.hpp contract — NOT readout-slot order) and returns the
+/// per-qubit observable weights, i.e. the upstream derivative `dL/d<Z_q>`.
+/// The returned gradients vector has max(program.num_trainable(),
+/// theta.size()) entries; parameters whose RZs were elided as trailing
+/// diagonals get their exact gradient of zero.
+AdjointResult compiled_adjoint_gradient(const CompiledProgram& program,
+                                        std::span<const double> theta,
+                                        std::span<const double> x,
+                                        const ObservableWeightFn& weight_fn,
+                                        AdjointWorkspace* workspace = nullptr);
+
+/// Convenience overload with fixed per-qubit weights.
+AdjointResult compiled_adjoint_gradient(const CompiledProgram& program,
+                                        std::span<const double> theta,
+                                        std::span<const double> x,
+                                        std::vector<double> fixed_weights,
+                                        AdjointWorkspace* workspace = nullptr);
+
+}  // namespace qucad

@@ -33,6 +33,111 @@ struct Pending {
   bool any = false;
 };
 
+bool is_1q_unitary_kind(COpKind kind) {
+  return kind == COpKind::Unitary1 || kind == COpKind::Diag1 ||
+         kind == COpKind::SymDiag1 || kind == COpKind::SymUni1;
+}
+
+bool is_symbolic_op(const CompiledOp& op) {
+  return op.input_index >= 0 || op.theta_index >= 0;
+}
+
+bool touches(const CompiledOp& op, int q) {
+  if (op.q0 == q) return true;
+  return (op.kind == COpKind::Cx || op.kind == COpKind::CRot2 ||
+          op.kind == COpKind::Channel2) &&
+         op.q1 == q;
+}
+
+/// Literal 2x2 of a non-symbolic single-qubit op.
+std::array<cplx, 4> literal_matrix(const CompiledOp& op) {
+  if (op.kind == COpKind::Diag1) {
+    return {op.u[0], cplx{0.0, 0.0}, cplx{0.0, 0.0}, op.u[3]};
+  }
+  return op.u;
+}
+
+/// One left-to-right pass fusing CX(c,t) [1q chain on t, <= 1 symbolic]
+/// CX(c,t) patterns into CRot2 ops. Ops on unrelated qubits commute out of
+/// the pattern and are re-emitted just before it. Anything touching the
+/// control, any channel on the target, or a second symbolic op aborts that
+/// candidate. Returns true when something fused (callers loop to fixpoint so
+/// patterns revealed by earlier fusions are picked up too).
+bool fuse_cx_sandwich_pass(std::vector<CompiledOp>& ops, CompileStats& stats) {
+  std::vector<CompiledOp> out;
+  out.reserve(ops.size());
+  bool changed = false;
+  std::size_t i = 0;
+  while (i < ops.size()) {
+    const CompiledOp& op = ops[i];
+    bool fused = false;
+    if (op.kind == COpKind::Cx) {
+      const int c = op.q0;
+      const int t = op.q1;
+      std::vector<CompiledOp> mid;
+      std::vector<CompiledOp> others;
+      int sym_count = 0;
+      bool matched = false;
+      std::size_t j = i + 1;
+      for (; j < ops.size(); ++j) {
+        const CompiledOp& o = ops[j];
+        const bool on_c = touches(o, c);
+        const bool on_t = touches(o, t);
+        if (!on_c && !on_t) {
+          others.push_back(o);
+          continue;
+        }
+        if (o.kind == COpKind::Cx && o.q0 == c && o.q1 == t) {
+          matched = true;
+          break;
+        }
+        if (on_c || !is_1q_unitary_kind(o.kind)) break;
+        if (is_symbolic_op(o) && ++sym_count > 1) break;
+        mid.push_back(o);
+      }
+      if (matched) {
+        for (const CompiledOp& o : others) out.push_back(o);
+        if (!mid.empty()) {
+          CompiledOp f;
+          f.kind = COpKind::CRot2;
+          f.q0 = c;
+          f.q1 = t;
+          f.u = kIdentity2;
+          f.u2 = kIdentity2;
+          f.angle_offset = 0.0;
+          bool after_sym = false;
+          for (const CompiledOp& m : mid) {
+            if (is_symbolic_op(m)) {
+              after_sym = true;
+              f.angle_offset = m.angle_offset;
+              f.input_index = m.input_index;
+              f.input_scale = m.input_scale;
+              f.theta_index = m.theta_index;
+              f.theta_scale = m.theta_scale;
+              if (m.kind == COpKind::SymUni1) f.u = mul2(m.u, f.u);
+            } else {
+              auto& side = after_sym ? f.u2 : f.u;
+              side = mul2(literal_matrix(m), side);
+            }
+          }
+          out.push_back(f);
+          ++stats.fused_cx_sandwiches;
+        }
+        // else: CX directly followed by CX — the pair cancels entirely.
+        i = j + 1;
+        changed = true;
+        fused = true;
+      }
+    }
+    if (!fused) {
+      out.push_back(op);
+      ++i;
+    }
+  }
+  ops = std::move(out);
+  return changed;
+}
+
 }  // namespace
 
 FusedChannel1 fuse_pulse_channel(const PulseNoise& noise) {
@@ -128,18 +233,39 @@ CompiledProgram CompiledProgram::compile(const PhysicalCircuit& circuit,
     ++program.stats_.channels;
   };
 
+  // Parameter-space extents come from the SOURCE circuit so that ops elided
+  // below (trailing-diagonal drop, global-phase elision) still count toward
+  // the gradient vector's size.
+  program.num_trainable_ = circuit.num_trainable();
+  program.num_inputs_ = circuit.num_inputs();
+
   for (const PhysOp& phys : circuit.ops()) {
     switch (phys.kind) {
       case PhysOpKind::RZ: {
-        if (phys.input_index >= 0) {
-          // Data-dependent: stays symbolic so one program serves all samples.
-          flush(phys.q0);
+        if (phys.is_symbolic()) {
+          // Data-dependent or trainable: stays symbolic so one program
+          // serves every sample and every theta update. Instead of flushing
+          // the pending single-qubit chain as a separate pass, absorb it
+          // into the symbolic op (SymUni1 = diag(angle) * pending): the
+          // dominant ZSX rotation pattern [U, RZ(sym), U, ...] then replays
+          // as one fused pass per rotation.
           CompiledOp op;
-          op.kind = COpKind::SymDiag1;
+          Pending& p = pending[static_cast<std::size_t>(phys.q0)];
+          if (p.any && !is_global_phase(p.u)) {
+            op.kind = COpKind::SymUni1;
+            op.u = p.u;
+            ++program.stats_.fused_unitaries;
+          } else {
+            op.kind = COpKind::SymDiag1;
+          }
+          p.u = kIdentity2;
+          p.any = false;
           op.q0 = phys.q0;
           op.angle_offset = phys.angle;
           op.input_index = phys.input_index;
           op.input_scale = phys.input_scale;
+          op.theta_index = phys.theta_index;
+          op.theta_scale = phys.theta_scale;
           program.ops_.push_back(op);
         } else {
           const std::array<cplx, 4> rz{std::exp(cplx{0.0, -phys.angle / 2.0}),
@@ -193,6 +319,12 @@ CompiledProgram CompiledProgram::compile(const PhysicalCircuit& circuit,
   }
   for (int q = 0; q < nq; ++q) flush(q);
 
+  if (options.fuse_cx_sandwich) {
+    // Loop to fixpoint: a fusion can bring another CX pair adjacent.
+    while (fuse_cx_sandwich_pass(program.ops_, program.stats_)) {
+    }
+  }
+
   if (options.drop_trailing_diagonal) {
     // Diagonal unitaries commute with every error channel here (depolarizing,
     // thermal relaxation, and classical readout confusion all act
@@ -212,10 +344,19 @@ CompiledProgram CompiledProgram::compile(const PhysicalCircuit& circuit,
             continue;  // dropped
           }
           break;
+        case COpKind::SymUni1:
+          // Diagonal only when the absorbed prefix is itself diagonal.
+          if (is_diagonal(op.u) && !blocked[static_cast<std::size_t>(op.q0)]) {
+            ++program.stats_.dropped_trailing;
+            continue;  // dropped
+          }
+          blocked[static_cast<std::size_t>(op.q0)] = 1;
+          break;
         case COpKind::Unitary1:
           blocked[static_cast<std::size_t>(op.q0)] = 1;
           break;
         case COpKind::Cx:
+        case COpKind::CRot2:
           blocked[static_cast<std::size_t>(op.q0)] = 1;
           blocked[static_cast<std::size_t>(op.q1)] = 1;
           break;
@@ -232,7 +373,35 @@ CompiledProgram CompiledProgram::compile(const PhysicalCircuit& circuit,
   return program;
 }
 
-void CompiledProgram::run(DensityMatrix& dm, std::span<const double> x) const {
+std::array<cplx, 4> sym_uni_matrix(const CompiledOp& op, double angle) {
+  const auto [d0, d1] = rz_diag(angle);
+  return {d0 * op.u[0], d0 * op.u[1], d1 * op.u[2], d1 * op.u[3]};
+}
+
+std::array<cplx, 4> crot_inner_matrix(const CompiledOp& op, double angle) {
+  const std::array<cplx, 4> du = sym_uni_matrix(op, angle);  // diag * u
+  return mul2(op.u2, du);
+}
+
+double resolve_sym_angle(const CompiledOp& op, std::span<const double> x,
+                         std::span<const double> theta) {
+  if (op.input_index >= 0) {
+    require(static_cast<std::size_t>(op.input_index) < x.size(),
+            "input vector too short for compiled op");
+    return op.input_scale * x[static_cast<std::size_t>(op.input_index)] +
+           op.angle_offset;
+  }
+  if (op.theta_index >= 0) {
+    require(static_cast<std::size_t>(op.theta_index) < theta.size(),
+            "theta vector too short for compiled op");
+    return op.theta_scale * theta[static_cast<std::size_t>(op.theta_index)] +
+           op.angle_offset;
+  }
+  return op.angle_offset;  // literal (CRot2 with a fully bound interior)
+}
+
+void CompiledProgram::run(DensityMatrix& dm, std::span<const double> x,
+                          std::span<const double> theta) const {
   require(dm.num_qubits() == num_qubits_, "scratch matrix qubit count mismatch");
   dm.reset();
   for (const CompiledOp& op : ops_) {
@@ -244,13 +413,24 @@ void CompiledProgram::run(DensityMatrix& dm, std::span<const double> x) const {
         dm.apply_diag1(op.q0, op.u[0], op.u[3]);
         break;
       case COpKind::SymDiag1: {
-        require(static_cast<std::size_t>(op.input_index) < x.size(),
-                "input vector too short for compiled op");
-        const double angle =
-            op.input_scale * x[static_cast<std::size_t>(op.input_index)] +
-            op.angle_offset;
-        dm.apply_diag1(op.q0, std::exp(cplx{0.0, -angle / 2.0}),
-                       std::exp(cplx{0.0, angle / 2.0}));
+        const auto [d0, d1] = rz_diag(resolve_sym_angle(op, x, theta));
+        dm.apply_diag1(op.q0, d0, d1);
+        break;
+      }
+      case COpKind::SymUni1:
+        dm.apply1(op.q0, sym_uni_matrix(op, resolve_sym_angle(op, x, theta)));
+        break;
+      case COpKind::CRot2: {
+        // CX (I (x) M) CX is block-diagonal: M on control-0, X M X on
+        // control-1 (local index = 2*bit(q0) + bit(q1), q0 = control).
+        const std::array<cplx, 4> m =
+            crot_inner_matrix(op, resolve_sym_angle(op, x, theta));
+        const cplx zero{0.0, 0.0};
+        dm.apply2(op.q0, op.q1,
+                  {m[0], m[1], zero, zero,      //
+                   m[2], m[3], zero, zero,      //
+                   zero, zero, m[3], m[2],      //
+                   zero, zero, m[1], m[0]});
         break;
       }
       case COpKind::Cx:
@@ -262,6 +442,72 @@ void CompiledProgram::run(DensityMatrix& dm, std::span<const double> x) const {
       case COpKind::Channel2:
         dm.apply_channel2(op.q0, op.q1, op.ch2);
         break;
+    }
+  }
+}
+
+void CompiledProgram::run_pure(StateVector& sv, std::span<const double> x,
+                               std::span<const double> theta,
+                               std::vector<std::array<cplx, 4>>* resolved) const {
+  require(sv.num_qubits() == num_qubits_, "scratch state qubit count mismatch");
+  require(!has_channels(),
+          "run_pure requires a noiseless program (no channel ops)");
+  if (resolved != nullptr) resolved->resize(ops_.size());
+  sv.reset();
+  for (std::size_t idx = 0; idx < ops_.size(); ++idx) {
+    const CompiledOp& op = ops_[idx];
+    switch (op.kind) {
+      case COpKind::Unitary1:
+        sv.apply1(op.q0, op.u);
+        break;
+      case COpKind::Diag1:
+        sv.apply_diag1(op.q0, op.u[0], op.u[3]);
+        break;
+      case COpKind::SymDiag1: {
+        const auto [d0, d1] = rz_diag(resolve_sym_angle(op, x, theta));
+        if (resolved != nullptr) {
+          (*resolved)[idx] = {d0, cplx{0.0, 0.0}, cplx{0.0, 0.0}, d1};
+        }
+        sv.apply_diag1(op.q0, d0, d1);
+        break;
+      }
+      case COpKind::SymUni1: {
+        const std::array<cplx, 4> m =
+            sym_uni_matrix(op, resolve_sym_angle(op, x, theta));
+        if (resolved != nullptr) (*resolved)[idx] = m;
+        sv.apply1(op.q0, m);
+        break;
+      }
+      case COpKind::CRot2: {
+        const std::array<cplx, 4> m =
+            crot_inner_matrix(op, resolve_sym_angle(op, x, theta));
+        if (resolved != nullptr) (*resolved)[idx] = m;
+        // One pass over the 4-tuples: M on the control-0 target pair,
+        // X M X on the control-1 pair.
+        auto& amps = sv.amplitudes();
+        const std::size_t mc = std::size_t{1} << op.q0;
+        const std::size_t mt = std::size_t{1} << op.q1;
+        for (std::size_t i = 0; i < amps.size(); ++i) {
+          if ((i & mc) || (i & mt)) continue;
+          const std::size_t i00 = i;
+          const std::size_t i01 = i | mt;
+          const std::size_t i10 = i | mc;
+          const std::size_t i11 = i | mc | mt;
+          const cplx a00 = amps[i00], a01 = amps[i01];
+          amps[i00] = m[0] * a00 + m[1] * a01;
+          amps[i01] = m[2] * a00 + m[3] * a01;
+          const cplx a10 = amps[i10], a11 = amps[i11];
+          amps[i10] = m[3] * a10 + m[2] * a11;
+          amps[i11] = m[1] * a10 + m[0] * a11;
+        }
+        break;
+      }
+      case COpKind::Cx:
+        sv.apply_cx(op.q0, op.q1);
+        break;
+      case COpKind::Channel1:
+      case COpKind::Channel2:
+        break;  // unreachable: guarded by the has_channels() require above
     }
   }
 }

@@ -1,89 +1,199 @@
 #pragma once
 
 #include <array>
+#include <cmath>
 #include <cstdint>
 #include <span>
 #include <vector>
 
 #include "noise/noise_model.hpp"
 #include "sim/density_matrix.hpp"
+#include "sim/statevector.hpp"
 #include "transpile/physical.hpp"
 
 namespace qucad {
 
-/// Op vocabulary of a compiled noisy program. The lowering pass turns a
+/// \file
+/// The shared compiled-program abstraction: a PhysicalCircuit (optionally
+/// with a NoiseModel folded in) lowered ONCE into a flat, replayable op
+/// stream. Two engines replay it:
+///   - the density-matrix engine (NoisyExecutor::run_z / run_z_batch), which
+///     replays one program per evaluation sample, and
+///   - the pure-statevector engine (PureExecutor / compiled_adjoint_gradient),
+///     which replays one program per (sample, theta) pair during training.
+/// Symbolic slots are the reason a single program can be shared: RZ angles
+/// affine in an input-encoding slot stay symbolic across samples, and RZ
+/// angles affine in a trainable slot stay symbolic across optimizer steps.
+
+/// Op vocabulary of a compiled program. The lowering pass turns a
 /// PhysicalCircuit + NoiseModel into a flat stream of these so that every
-/// density-matrix replay (one per evaluation sample) skips re-lowering,
-/// noise-model lookups, and redundant passes over rho.
+/// replay skips re-lowering, noise-model lookups, and redundant passes over
+/// the state.
 enum class COpKind : std::uint8_t {
-  Unitary1,  // fused 2x2 unitary on q0 (a whole RZ/SX/X chain segment)
-  Diag1,     // literal diagonal unitary on q0 (pure virtual-Z chain)
-  SymDiag1,  // data-dependent RZ: angle = input_scale * x[input_index] + offset
-  Cx,        // CX on (q0 = control, q1 = target), applied as a permutation
-  Channel1,  // fused depolarizing + thermal error site on q0
-  Channel2,  // fused CX error site on (q0 = min, q1 = max)
+  Unitary1,  ///< fused 2x2 unitary on q0 (a whole RZ/SX/X chain segment)
+  Diag1,     ///< literal diagonal unitary on q0 (pure virtual-Z chain)
+  SymDiag1,  ///< symbolic RZ: angle affine in one input or trainable slot
+  SymUni1,   ///< symbolic RZ times a fused prefix: diag(angle) * u, one pass
+  CRot2,     ///< CX * (I (x) u2 * diag(angle) * u) * CX, one two-qubit pass
+  Cx,        ///< CX on (q0 = control, q1 = target), applied as a permutation
+  Channel1,  ///< fused depolarizing + thermal error site on q0
+  Channel2,  ///< fused CX error site on (q0 = min, q1 = max)
 };
 
+/// One compiled operation. Only the fields of the active kind are
+/// meaningful. For the symbolic kinds the resolved angle is
+///   input_scale * x[input_index] + angle_offset   (input_index >= 0), or
+///   theta_scale * theta[theta_index] + angle_offset  (theta_index >= 0);
+/// exactly one of input_index / theta_index is >= 0 (the lowering never
+/// mixes parameter spaces inside a single RZ).
+///
+/// SymUni1 is the symbolic-sandwich fusion: the single-qubit chain pending
+/// in front of a symbolic RZ is absorbed as `u`, and the whole op applies
+///   diag(e^{-i a/2}, e^{+i a/2}) * u
+/// in ONE pass over the state. Absorption is only ever of PRECEDING ops, so
+/// the RZ generator (Z on q0) still sits at the top of the op — the adjoint
+/// engine's gradient hook is unchanged.
+///
+/// CRot2 is the controlled-rotation sandwich the basis lowering emits for
+/// CRX/CRY/CRZ: CX(q0,q1), a single-qubit chain on the target q1 containing
+/// at most one symbolic RZ, CX(q0,q1) — fused into one two-qubit pass
+///   CX * (I (x) M(a)) * CX,   M(a) = u2 * diag(e^{-i a/2}, e^{+i a/2}) * u
+/// (block-diagonal: M on the control-0 subspace, X M X on control-1). Error
+/// channels inside the pattern abort the fusion, so noisy programs keep the
+/// explicit CX + channel sites. With no symbolic interior the angle resolves
+/// to the literal angle_offset (0 by construction).
 struct CompiledOp {
   COpKind kind = COpKind::Diag1;
   int q0 = 0;
   int q1 = -1;
-  std::array<cplx, 4> u{};  // Unitary1 (full); Diag1 uses u[0], u[3]
-  FusedChannel1 ch1{};      // Channel1
-  FusedChannel2 ch2{};      // Channel2
-  double angle_offset = 0.0;  // SymDiag1
-  int input_index = -1;       // SymDiag1
-  double input_scale = 1.0;   // SymDiag1
+  std::array<cplx, 4> u{};  ///< Unitary1 / SymUni1 (full); Diag1 uses u[0],
+                            ///< u[3]; CRot2 pre-rotation factor
+  std::array<cplx, 4> u2{};  ///< CRot2 post-rotation factor
+  FusedChannel1 ch1{};      ///< Channel1
+  FusedChannel2 ch2{};      ///< Channel2
+  double angle_offset = 0.0;  ///< SymDiag1 / SymUni1 / CRot2
+  int input_index = -1;       ///< symbolic input slot, -1 = none
+  double input_scale = 1.0;
+  int theta_index = -1;       ///< symbolic trainable slot, -1 = none
+  double theta_scale = 1.0;
 };
 
+/// Knobs of the lowering pass. The defaults are correct for every Z-basis
+/// measurement consumer; disable them only when the full final state
+/// (off-diagonals / global phase included) must match the gate-by-gate
+/// reference bit for bit.
 struct CompileOptions {
-  /// Fuse adjacent single-qubit ops (between error sites) into one 2x2.
+  /// Fuse adjacent single-qubit ops (between error sites and symbolic RZs)
+  /// into one 2x2.
   bool fuse_single_qubit = true;
+  /// Fuse CX-sandwich controlled-rotation patterns into single CRot2 ops.
+  /// Only fires when nothing noisy sits inside the pattern, so it is
+  /// effectively the pure statevector path's optimization.
+  bool fuse_cx_sandwich = true;
   /// Drop trailing diagonal ops (virtual Z, literal or symbolic) that can no
   /// longer affect Z-basis measurement statistics. Preserves diagonal
-  /// probabilities and every <Z> exactly, but not off-diagonal entries of
-  /// the final density matrix — disable when the full state must match the
+  /// probabilities, every `<Z>`, and every `d<Z>/dtheta` exactly (a trailing RZ
+  /// commutes with the observable, so its gradient is identically zero), but
+  /// not off-diagonal entries of a final density matrix or the phases of a
+  /// final statevector — disable when the full state must match the
   /// gate-by-gate reference.
   bool drop_trailing_diagonal = true;
 };
 
 /// Compilation statistics, mainly for tests and perf records.
 struct CompileStats {
-  std::size_t source_ops = 0;     // PhysOps in the input circuit
-  std::size_t compiled_ops = 0;   // ops in the emitted stream
+  std::size_t source_ops = 0;     ///< PhysOps in the input circuit
+  std::size_t compiled_ops = 0;   ///< ops in the emitted stream
   std::size_t fused_unitaries = 0;
+  std::size_t fused_cx_sandwiches = 0;  ///< CRot2 ops emitted
   std::size_t channels = 0;
   std::size_t dropped_trailing = 0;
 };
 
 /// A PhysicalCircuit + NoiseModel lowered once into a replayable op stream.
-/// Data-dependent RZ angles stay symbolic, so one compiled program serves
-/// every evaluation sample. Thread-safe to run concurrently (immutable after
-/// compile; each run writes only the caller's DensityMatrix).
+///
+/// Invariants:
+///  - Immutable after compile(); all replay methods are const and safe to
+///    call concurrently. Each replay writes only the caller's scratch state
+///    (DensityMatrix or StateVector), so per-thread scratch reuse — the
+///    run_z_batch / batch_loss_grad threading pattern — needs no locking.
+///  - Symbolic slots survive compilation: input-symbolic RZ angles are
+///    resolved against `x` and trainable-symbolic RZ angles against `theta`
+///    at replay time, so one program serves every (sample, theta) pair.
+///  - num_trainable() / num_inputs() are computed from the SOURCE circuit,
+///    not the surviving ops: a trainable RZ elided by drop_trailing_diagonal
+///    still counts (its gradient is exactly zero, not absent).
 class CompiledProgram {
  public:
   CompiledProgram() = default;
 
   /// Lowers `circuit` with the calibrated channels of `noise` folded in.
-  /// Pass a default NoiseModel (num_qubits() == 0) for a noiseless program.
+  /// Pass a default NoiseModel (num_qubits() == 0) for a noiseless program —
+  /// required for the statevector replay paths.
   static CompiledProgram compile(const PhysicalCircuit& circuit,
                                  const NoiseModel& noise,
                                  const CompileOptions& options = {});
 
   int num_qubits() const { return num_qubits_; }
+  /// 1 + the largest trainable slot referenced by the source circuit.
+  int num_trainable() const { return num_trainable_; }
+  /// 1 + the largest input-encoding slot referenced by the source circuit.
+  int num_inputs() const { return num_inputs_; }
+  /// True when the program contains error-channel ops; such a program can
+  /// only be replayed on a density matrix.
+  bool has_channels() const { return stats_.channels > 0; }
   const std::vector<CompiledOp>& ops() const { return ops_; }
   const CompileStats& stats() const { return stats_; }
 
-  /// Replays the program on `dm` for input sample `x`. `dm` is reset first,
-  /// so a caller-owned scratch matrix can be reused across samples without
+  /// Replays the program on `dm` for input sample `x` and parameters
+  /// `theta` (pass an empty span when the program has no trainable slots,
+  /// i.e. theta was bound before lowering). `dm` is reset first, so a
+  /// caller-owned scratch matrix can be reused across samples without
   /// reallocation.
-  void run(DensityMatrix& dm, std::span<const double> x) const;
+  void run(DensityMatrix& dm, std::span<const double> x,
+           std::span<const double> theta = {}) const;
+
+  /// Replays a noiseless program on `sv` — the compiled forward pass of the
+  /// statevector training path. Requires has_channels() == false. `sv` is
+  /// reset first (same scratch-reuse contract as run()). With the default
+  /// CompileOptions the final state matches the gate-by-gate reference up to
+  /// a global phase and elided trailing virtual-Z rotations; probabilities
+  /// and every `<Z>` match exactly.
+  ///
+  /// When `resolved` is non-null it is resized to ops().size() and entry i
+  /// receives the angle-resolved 2x2 of symbolic op i (SymDiag1 diagonal in
+  /// [0]/[3], SymUni1 full matrix, CRot2 interior matrix) — the adjoint's
+  /// reverse sweep daggers these instead of re-resolving every op.
+  void run_pure(StateVector& sv, std::span<const double> x,
+                std::span<const double> theta = {},
+                std::vector<std::array<cplx, 4>>* resolved = nullptr) const;
 
  private:
   int num_qubits_ = 0;
+  int num_trainable_ = 0;
+  int num_inputs_ = 0;
   std::vector<CompiledOp> ops_;
   CompileStats stats_;
 };
+
+/// Resolved angle of a SymDiag1 / SymUni1 op against (x, theta).
+double resolve_sym_angle(const CompiledOp& op, std::span<const double> x,
+                         std::span<const double> theta);
+
+/// RZ(angle) diagonal (e^{-i angle/2}, e^{+i angle/2}) via one sincos —
+/// cheaper than two complex exponentials in the replay hot loops.
+inline std::array<cplx, 2> rz_diag(double angle) {
+  const double c = std::cos(angle / 2.0);
+  const double s = std::sin(angle / 2.0);
+  return {cplx{c, -s}, cplx{c, s}};
+}
+
+/// The full 2x2 of a SymUni1 op at a resolved angle: diag(angle) * op.u.
+std::array<cplx, 4> sym_uni_matrix(const CompiledOp& op, double angle);
+
+/// The interior 2x2 of a CRot2 op at a resolved angle:
+/// M = op.u2 * diag(angle) * op.u (applied on the target between the CXs).
+std::array<cplx, 4> crot_inner_matrix(const CompiledOp& op, double angle);
 
 /// Folds one pulse error site (depolarizing then thermal relaxation, the
 /// order NoisyExecutor::run_density applies) into closed-form coefficients.

@@ -11,19 +11,21 @@ namespace {
 constexpr double kPi = 3.14159265358979323846;
 constexpr double kTwoPi = 2.0 * kPi;
 
-/// Angle that is either a literal or affine in one input slot.
+/// Angle that is a literal or affine in one symbolic slot (an input-encoding
+/// slot or, with BasisOptions::keep_trainable_symbolic, a trainable slot).
 struct AngleExpr {
   double offset = 0.0;
   int input_index = -1;
-  double scale = 1.0;
+  double scale = 1.0;  // scale of whichever symbol is referenced
+  int theta_index = -1;
 
-  bool symbolic() const { return input_index >= 0; }
+  bool symbolic() const { return input_index >= 0 || theta_index >= 0; }
 
   AngleExpr operator+(double delta) const {
-    return AngleExpr{offset + delta, input_index, scale};
+    return AngleExpr{offset + delta, input_index, scale, theta_index};
   }
   AngleExpr operator*(double factor) const {
-    return AngleExpr{offset * factor, input_index, scale * factor};
+    return AngleExpr{offset * factor, input_index, scale * factor, theta_index};
   }
   AngleExpr negated() const { return *this * -1.0; }
 };
@@ -35,7 +37,10 @@ void emit_rz(PhysicalCircuit& out, int q, const AngleExpr& a, double tol) {
     const double t = std::fmod(std::fmod(a.offset, kTwoPi) + kTwoPi, kTwoPi);
     if (t < tol || kTwoPi - t < tol) return;  // identity up to global phase
   }
-  out.push(PhysOp{PhysOpKind::RZ, q, -1, a.offset, a.input_index, a.scale});
+  PhysOp op{PhysOpKind::RZ, q, -1, a.offset, a.input_index, 1.0, a.theta_index,
+            1.0};
+  (a.input_index >= 0 ? op.input_scale : op.theta_scale) = a.scale;
+  out.push(op);
 }
 
 void emit_sx(PhysicalCircuit& out, int q) {
@@ -164,7 +169,8 @@ PhysicalCircuit lower_to_basis(const RoutedCircuit& routed,
   PhysicalCircuit out(routed.circuit.num_qubits());
 
   for (const Gate& g : routed.circuit.gates()) {
-    require(g.param.kind != ParamRef::Kind::Trainable ||
+    require(options.keep_trainable_symbolic ||
+                g.param.kind != ParamRef::Kind::Trainable ||
                 static_cast<std::size_t>(g.param.index) < theta.size(),
             "lower_to_basis requires all trainable parameters bound");
 
@@ -172,7 +178,9 @@ PhysicalCircuit lower_to_basis(const RoutedCircuit& routed,
     if (g.param.kind == ParamRef::Kind::Input) {
       angle = AngleExpr{0.0, g.param.index, 1.0};
     } else if (g.param.kind == ParamRef::Kind::Trainable) {
-      angle = AngleExpr{theta[static_cast<std::size_t>(g.param.index)]};
+      angle = options.keep_trainable_symbolic
+                  ? AngleExpr{0.0, -1, 1.0, g.param.index}
+                  : AngleExpr{theta[static_cast<std::size_t>(g.param.index)]};
     } else {
       angle = AngleExpr{g.value};
     }

@@ -10,11 +10,20 @@ namespace qucad {
 struct BasisOptions {
   /// Angles within tol of a breakpoint take the shortened decomposition.
   double tol = 1e-9;
+  /// Keep trainable parameters symbolic instead of binding them: each one
+  /// becomes an affine RZ angle (theta_scale * theta[i] + offset), so the
+  /// lowered circuit — and anything compiled from it — is shared across
+  /// every optimizer step. `theta` is ignored in this mode, and the
+  /// compression peephole cannot fire on trainable rotations (their values
+  /// are unknown at lowering time), so the circuit is the generic-length
+  /// decomposition.
+  bool keep_trainable_symbolic = false;
 };
 
 /// Lowers a routed circuit to the {CX, RZ, SX, X} basis. Trainable
-/// parameters must be bound via `theta`; input-encoding parameters stay
-/// symbolic (they become affine RZ angles replayed per sample).
+/// parameters must be bound via `theta` (unless
+/// BasisOptions::keep_trainable_symbolic is set); input-encoding parameters
+/// stay symbolic (they become affine RZ angles replayed per sample).
 ///
 /// This pass is where QNN compression pays off physically — it is the
 /// "reduction of physical circuit length" of the paper's Motivation 1:

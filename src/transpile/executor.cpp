@@ -167,13 +167,62 @@ std::vector<double> NoisyExecutor::run_z_reference(
   return z_from_probs(probs);
 }
 
+PureExecutor::PureExecutor(PhysicalCircuit circuit,
+                           CompileOptions compile_options)
+    : circuit_(std::move(circuit)) {
+  program_ = CompiledProgram::compile(circuit_, NoiseModel(), compile_options);
+}
+
+void PureExecutor::run_state(StateVector& sv, std::span<const double> x,
+                             std::span<const double> theta) const {
+  program_.run_pure(sv, x, theta);
+}
+
+std::vector<double> PureExecutor::run_z(std::span<const double> x,
+                                        std::span<const double> theta) const {
+  // One scratch state per worker thread, recycled across samples and across
+  // executors of the same width — per-sample replays stay allocation-free
+  // (the same pattern as NoisyExecutor::run_z_batch).
+  thread_local std::unique_ptr<StateVector> scratch;
+  if (!scratch || scratch->num_qubits() != circuit_.num_qubits()) {
+    scratch = std::make_unique<StateVector>(circuit_.num_qubits());
+  }
+  StateVector& sv = *scratch;
+  program_.run_pure(sv, x, theta);
+  // One pass over the amplitudes, accumulating only the measured qubits,
+  // ordered by readout slot (class position) — not indexed by qubit id.
+  const auto& slots = circuit_.readout_physical();
+  std::vector<double> z(slots.size(), 0.0);
+  const auto& amps = sv.amplitudes();
+  for (std::size_t i = 0; i < amps.size(); ++i) {
+    const double p = std::norm(amps[i]);
+    for (std::size_t k = 0; k < slots.size(); ++k) {
+      z[k] += (i >> slots[k]) & 1 ? -p : p;
+    }
+  }
+  return z;
+}
+
+AdjointResult PureExecutor::adjoint(std::span<const double> theta,
+                                    std::span<const double> x,
+                                    const ObservableWeightFn& weight_fn,
+                                    AdjointWorkspace* workspace) const {
+  return compiled_adjoint_gradient(program_, theta, x, weight_fn, workspace);
+}
+
 StateVector run_physical_pure(const PhysicalCircuit& circuit,
                               std::span<const double> x) {
+  return run_physical_pure(circuit, x, {});
+}
+
+StateVector run_physical_pure(const PhysicalCircuit& circuit,
+                              std::span<const double> x,
+                              std::span<const double> theta) {
   StateVector sv(circuit.num_qubits());
   for (const PhysOp& op : circuit.ops()) {
     switch (op.kind) {
       case PhysOpKind::RZ:
-        sv.apply1(op.q0, rz_array(op.resolve_angle(x)));
+        sv.apply1(op.q0, rz_array(op.resolve_angle(x, theta)));
         break;
       case PhysOpKind::SX:
         sv.apply1(op.q0, sx_as_array2());

@@ -6,6 +6,7 @@
 
 #include "common/rng.hpp"
 #include "noise/noise_model.hpp"
+#include "sim/compiled_adjoint.hpp"
 #include "sim/compiled_ops.hpp"
 #include "sim/density_matrix.hpp"
 #include "sim/statevector.hpp"
@@ -36,7 +37,7 @@ class NoisyExecutor {
   NoisyExecutor(PhysicalCircuit circuit, NoiseModel noise,
                 CompileOptions compile_options = {});
 
-  /// <Z> of each readout slot, ordered by position in
+  /// `<Z>` of each readout slot, ordered by position in
   /// circuit.readout_physical() — NOT indexed by qubit id. Exact.
   std::vector<double> run_z(std::span<const double> x) const;
 
@@ -78,9 +79,63 @@ class NoisyExecutor {
   bool apply_readout_ = false;
 };
 
-/// Noise-free reference: runs the physical circuit on a state vector.
-/// Used by equivalence tests (physical vs logical semantics).
+/// Noise-free compiled statevector engine: the training-path counterpart of
+/// NoisyExecutor. Construction compiles the physical circuit once — with
+/// both data-dependent AND trainable RZ angles kept symbolic when the
+/// circuit was lowered by lower_model_symbolic — so one compiled program is
+/// replayed across every (sample, theta) pair of a training run instead of
+/// re-walking the gate list per evaluation.
+///
+/// Readout contract (same as NoisyExecutor): run_z output is ordered by
+/// position in circuit.readout_physical() — slot k is class k — never
+/// indexed by qubit id. adjoint() follows the sim/adjoint.hpp contract
+/// instead: z_expectations has one entry PER QUBIT, because the observable
+/// weight hook needs the full vector.
+///
+/// All run methods are const and safe to call concurrently; per-thread
+/// scratch (StateVector / AdjointWorkspace) is the caller's to thread
+/// through batch loops.
+class PureExecutor {
+ public:
+  /// Takes a copy: the executor is self-contained (same rationale as
+  /// NoisyExecutor).
+  explicit PureExecutor(PhysicalCircuit circuit,
+                        CompileOptions compile_options = {});
+
+  /// `<Z>` of each readout slot for one (sample, theta) replay, ordered by
+  /// position in circuit.readout_physical().
+  std::vector<double> run_z(std::span<const double> x,
+                            std::span<const double> theta = {}) const;
+
+  /// Replays the compiled forward pass into caller-owned scratch.
+  void run_state(StateVector& sv, std::span<const double> x,
+                 std::span<const double> theta = {}) const;
+
+  /// Compiled adjoint pass (see sim/compiled_adjoint.hpp). Pass a per-thread
+  /// workspace to make batched gradient loops allocation-free.
+  AdjointResult adjoint(std::span<const double> theta,
+                        std::span<const double> x,
+                        const ObservableWeightFn& weight_fn,
+                        AdjointWorkspace* workspace = nullptr) const;
+
+  int num_trainable() const { return program_.num_trainable(); }
+  const PhysicalCircuit& circuit() const { return circuit_; }
+  const CompiledProgram& program() const { return program_; }
+
+ private:
+  PhysicalCircuit circuit_;
+  CompiledProgram program_;
+};
+
+/// Noise-free reference: runs the physical circuit gate by gate on a state
+/// vector. Ground truth for the compiled engine's equivalence tests
+/// (physical vs logical semantics, compiled vs reference replay).
 StateVector run_physical_pure(const PhysicalCircuit& circuit,
                               std::span<const double> x);
+
+/// Reference overload for circuits lowered with trainable angles symbolic.
+StateVector run_physical_pure(const PhysicalCircuit& circuit,
+                              std::span<const double> x,
+                              std::span<const double> theta);
 
 }  // namespace qucad

@@ -7,11 +7,19 @@
 
 namespace qucad {
 
-double PhysOp::resolve_angle(std::span<const double> x) const {
-  if (input_index < 0) return angle;
-  require(static_cast<std::size_t>(input_index) < x.size(),
-          "input vector too short for physical op");
-  return input_scale * x[static_cast<std::size_t>(input_index)] + angle;
+double PhysOp::resolve_angle(std::span<const double> x,
+                             std::span<const double> theta) const {
+  if (input_index >= 0) {
+    require(static_cast<std::size_t>(input_index) < x.size(),
+            "input vector too short for physical op");
+    return input_scale * x[static_cast<std::size_t>(input_index)] + angle;
+  }
+  if (theta_index >= 0) {
+    require(static_cast<std::size_t>(theta_index) < theta.size(),
+            "theta vector too short for physical op");
+    return theta_scale * theta[static_cast<std::size_t>(theta_index)] + angle;
+  }
+  return angle;
 }
 
 void PhysicalCircuit::push(PhysOp op) {
@@ -40,6 +48,18 @@ std::size_t PhysicalCircuit::pulse_count() const {
 
 std::size_t PhysicalCircuit::rz_count() const {
   return ops_.size() - cx_count() - pulse_count();
+}
+
+int PhysicalCircuit::num_trainable() const {
+  int n = 0;
+  for (const PhysOp& op : ops_) n = std::max(n, op.theta_index + 1);
+  return n;
+}
+
+int PhysicalCircuit::num_inputs() const {
+  int n = 0;
+  for (const PhysOp& op : ops_) n = std::max(n, op.input_index + 1);
+  return n;
 }
 
 double PhysicalCircuit::weighted_length(double cx_weight) const {
