@@ -8,12 +8,15 @@
 //   {"schema": "qucad-bench-v1", "group": ..., "records": [
 //      {"name", "params", "iters", "seconds", "throughput", "unit"}, ...]}
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <span>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/require.hpp"
@@ -27,6 +30,7 @@
 #include "qnn/gradients.hpp"
 #include "qnn/model.hpp"
 #include "qnn/trainer.hpp"
+#include "serve/inference_service.hpp"
 #include "sim/adjoint.hpp"
 #include "sim/statevector.hpp"
 #include "transpile/transpiler.hpp"
@@ -325,6 +329,171 @@ std::vector<Record> train_benches() {
   return records;
 }
 
+/// Concurrent-client measurement: `clients` threads each push `per_client`
+/// requests through InferenceService::submit as fast as the service answers,
+/// recording per-request wall latency.
+struct HammerResult {
+  double seconds = 0.0;
+  std::int64_t requests = 0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+};
+
+HammerResult hammer_submit(qucad::InferenceService& service,
+                           std::span<const std::vector<double>> pool,
+                           int clients, int per_client) {
+  std::vector<std::vector<double>> latencies(
+      static_cast<std::size_t>(clients));
+  std::vector<qucad::Status> failures(static_cast<std::size_t>(clients));
+  const auto start = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      auto& lat = latencies[static_cast<std::size_t>(c)];
+      lat.reserve(static_cast<std::size_t>(per_client));
+      for (int r = 0; r < per_client; ++r) {
+        const std::vector<double>& x =
+            pool[static_cast<std::size_t>(c * per_client + r) % pool.size()];
+        const auto t0 = Clock::now();
+        const auto prediction = service.submit(x);
+        if (!prediction.ok()) {
+          // Throwing here would escape the thread (std::terminate); stash
+          // the status and fail after join, through run_all's handler.
+          failures[static_cast<std::size_t>(c)] = prediction.status();
+          return;
+        }
+        lat.push_back(std::chrono::duration<double>(Clock::now() - t0).count());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const qucad::Status& status : failures) {
+    if (!status.ok()) {
+      qucad::require(false, "serving bench: submit failed: " + status.to_string());
+    }
+  }
+
+  HammerResult result;
+  result.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  std::vector<double> merged;
+  for (const auto& lat : latencies) {
+    merged.insert(merged.end(), lat.begin(), lat.end());
+  }
+  std::sort(merged.begin(), merged.end());
+  result.requests = static_cast<std::int64_t>(merged.size());
+  if (!merged.empty()) {
+    result.p50 = merged[merged.size() / 2];
+    result.p99 = merged[(merged.size() * 99) / 100];
+  }
+  return result;
+}
+
+/// The serving-layer record group: the micro-batched InferenceService
+/// against the naive pre-serving deployment (a sequential loop calling
+/// noisy_evaluate once per arriving request), plus concurrent-client
+/// throughput and tail latency. "serving_speedup" is the dimensionless
+/// batched/naive ratio at 8 in-flight requests; the batched sweep spreads
+/// the batch over the worker pool, so the ratio is ~1x on a 1-core
+/// container and >= 2x on any multi-core machine (the CI runners that gate
+/// it) — see docs/BENCHMARKS.md.
+std::vector<Record> serving_benches() {
+  std::vector<Record> records;
+  const CalibrationHistory history(FluctuationScenario::belem(), 10, 2021);
+  const Calibration& calib = history.day(0);
+  Environment env;
+  env.model = build_paper_model(4, 4, 2, 2);
+  env.theta_pretrained = make_theta(env.model.num_params(), 7);
+  env.train = make_mnist4(64, 24);
+  env.transpiled = transpile_model(env.model.circuit, env.model.readout_qubits,
+                                   CouplingMap::belem(), &calib);
+
+  StatusOr<InferenceService> service =
+      InferenceService::create(env, {}, calib);
+  require(service.ok(), service.status().to_string());
+
+  const std::vector<std::vector<double>>& requests = env.train.features;
+  const std::string params = "qubits=4,device=belem";
+
+  // Naive deployment: each request becomes its own one-sample
+  // noisy_evaluate call (dataset construction, cache lookup, result structs
+  // per request; no batching, no pool parallelism across requests).
+  std::size_t cursor = 0;
+  const Record naive = time_loop(
+      "serve_naive_loop", params + ",clients=8", 8.0, "samples/sec", [&] {
+        for (int r = 0; r < 8; ++r) {
+          Dataset single;
+          single.features = {requests[cursor]};
+          single.labels = {0};
+          single.num_classes = env.model.num_classes;
+          cursor = (cursor + 1) % requests.size();
+          const NoisyEvalResult result = noisy_evaluate(
+              env.model, env.transpiled, env.theta_pretrained, single, calib);
+          volatile double sink = result.accuracy;
+          (void)sink;
+        }
+      });
+  records.push_back(naive);
+
+  // The same 8 requests as one compiled sweep through the service.
+  cursor = 0;
+  const std::size_t last_batch_start = requests.size() - 8;
+  const Record batched = time_loop(
+      "serve_submit_batch", params + ",clients=8", 8.0, "samples/sec", [&] {
+        const std::span<const std::vector<double>> batch(
+            requests.data() + cursor, 8);
+        cursor = cursor + 8 > last_batch_start ? 0 : cursor + 8;
+        const auto predictions = service->submit_batch(batch);
+        volatile double sink = (*predictions)[0].logits[0];
+        (void)sink;
+      });
+  records.push_back(batched);
+
+  Record speedup;
+  speedup.name = "serving_speedup";
+  speedup.params = params + ",clients=8";
+  speedup.iters = 1;
+  speedup.seconds = 0.0;
+  speedup.throughput = batched.throughput / naive.throughput;
+  speedup.unit = "x (batched / naive loop)";
+  records.push_back(speedup);
+
+  // Live concurrent clients through submit(): micro-batcher handoff,
+  // coalescing window and epoch snapshotting included.
+  for (const int clients : {1, 8, 32}) {
+    const int per_client = clients >= 32 ? 10 : 40;
+    const HammerResult h =
+        hammer_submit(*service, requests, clients, per_client);
+    Record throughput;
+    throughput.name = "serve_submit";
+    throughput.params = params + ",clients=" + std::to_string(clients);
+    throughput.iters = h.requests;
+    throughput.seconds = h.seconds;
+    throughput.throughput = static_cast<double>(h.requests) / h.seconds;
+    throughput.unit = "requests/sec";
+    records.push_back(throughput);
+
+    if (clients == 8) {
+      // Tail latency, recorded as inverse latency so "higher is better"
+      // holds for the regression gate; the seconds field carries the raw
+      // latency.
+      for (const auto& [name, value] :
+           {std::pair<const char*, double>{"serve_latency_p50", h.p50},
+            std::pair<const char*, double>{"serve_latency_p99", h.p99}}) {
+        Record latency;
+        latency.name = name;
+        latency.params = params + ",clients=8";
+        latency.iters = h.requests;
+        latency.seconds = value;
+        latency.throughput = value > 0.0 ? 1.0 / value : 0.0;
+        latency.unit = "1/sec (inverse latency)";
+        records.push_back(latency);
+      }
+    }
+  }
+  return records;
+}
+
 }  // namespace
 }  // namespace qucad::bench
 
@@ -342,6 +511,7 @@ int main(int argc, char** argv) {
     write_group(dir, "noisy_eval", noisy_eval_benches());
     write_group(dir, "compiled_eval", compiled_eval_benches());
     write_group(dir, "train", train_benches());
+    write_group(dir, "serving", serving_benches());
   } catch (const std::exception& e) {
     std::cerr << "run_all: " << e.what() << "\n";
     return 1;

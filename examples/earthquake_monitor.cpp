@@ -1,15 +1,20 @@
-// Earthquake monitor: the paper's motivating deployment. A seismic-event
-// detector QNN runs daily on a drifting quantum backend; QuCAD's offline
-// repository + online manager keep it accurate, and Guidance 2's failure
-// reports tell the operator when no stored model is trustworthy.
+// Earthquake monitor: the paper's motivating deployment, now in its serving
+// shape. A seismic-event detector QNN serves classification requests on a
+// drifting quantum backend through qucad::InferenceService: the offline-
+// built repository answers each morning's calibration (reuse / compress a
+// new model / Guidance-2 failure report) with an atomic hot-swap of the
+// compiled executor, and the day's requests are micro-batched through the
+// swapped-in program. Compare src/core/strategies.hpp for the research-
+// harness shape of the same loop.
 
 #include <iostream>
 
 #include "common/table.hpp"
 #include "core/qucad.hpp"
-#include "core/strategies.hpp"
 #include "data/seismic_synth.hpp"
 #include "noise/calibration_history.hpp"
+#include "repo/constructor.hpp"
+#include "serve/inference_service.hpp"
 
 using namespace qucad;
 
@@ -28,15 +33,17 @@ int main() {
   // --- offline: build the model repository from history ------------------
   std::cout << "building repository from "
             << CalibrationHistory::kOfflineDays << " days of calibrations...\n";
-  QuCadStrategy qucad(env);
-  qucad.offline(history.slice(0, CalibrationHistory::kOfflineDays));
+  OfflineBuild build = build_repository(
+      env.model, env.transpiled, env.theta_pretrained,
+      history.slice(0, CalibrationHistory::kOfflineDays), env.train,
+      env.profile, env.constructor_options);
 
-  const auto& repo = qucad.manager().repository();
-  std::cout << "repository ready: " << repo.size() << " models, threshold "
-            << fmt(repo.threshold(), 4) << "\n\n";
+  std::cout << "repository ready: " << build.repository.size()
+            << " models, threshold " << fmt(build.repository.threshold(), 4)
+            << "\n\n";
   TextTable repo_table({"Entry", "Cluster acc", "Valid", "Frozen params"});
-  for (std::size_t i = 0; i < repo.size(); ++i) {
-    const RepoEntry& e = repo.entry(static_cast<int>(i));
+  for (std::size_t i = 0; i < build.repository.size(); ++i) {
+    const RepoEntry& e = build.repository.entry(static_cast<int>(i));
     std::size_t frozen = 0;
     for (auto f : e.frozen) frozen += f;
     repo_table.add_row({e.tag, fmt_pct(e.mean_cluster_accuracy),
@@ -44,30 +51,68 @@ int main() {
   }
   repo_table.print(std::cout);
 
+  // --- bring up the serving surface --------------------------------------
+  // The service owns copies of the model, routing, training data and the
+  // repository; the setup objects above can go out of scope. create()
+  // validates and returns a Status instead of aborting the process.
+  const int start = CalibrationHistory::kOfflineDays;
+  StatusOr<InferenceService> service = InferenceService::create(
+      env, std::move(build.repository), history.day(start));
+  if (!service.ok()) {
+    std::cerr << "cannot start serving: " << service.status().to_string()
+              << "\n";
+    return 1;
+  }
+
   // --- online: three months of daily monitoring --------------------------
   std::cout << "\ndaily monitoring (every 3rd day shown):\n";
   TextTable log({"Date", "Decision", "Model", "Accuracy"});
-  const int start = CalibrationHistory::kOfflineDays;
-  int optimizations = 0;
   for (int day = start; day < start + 90; ++day) {
     const Calibration& calib = history.day(day);
-    const std::span<const double> theta = qucad.online_day(day - start, calib);
+
+    // Morning calibration event: repository decision + executor hot-swap.
+    // In-flight requests would finish on the previous epoch; a failure
+    // report keeps the last trusted model serving.
+    const StatusOr<CalibrationReport> report = service->on_calibration(calib);
+    if (!report.ok()) {
+      std::cerr << "calibration event failed: " << report.status().to_string()
+                << "\n";
+      return 1;
+    }
     if (day % 3 != 0) continue;
 
-    const auto& manager = qucad.manager();
-    const bool optimized = manager.optimizations_run() > optimizations;
-    optimizations = manager.optimizations_run();
-    const double acc =
-        noisy_accuracy(env.model, env.transpiled, theta, env.test, calib);
-    log.add_row({history.date_string(day),
-                 optimized ? "compressed new model" : "reused",
-                 std::to_string(manager.repository().size()) + " in repo",
-                 fmt_pct(acc)});
+    // The day's traffic: the whole test set as one micro-batched sweep.
+    const StatusOr<std::vector<Prediction>> predictions =
+        service->submit_batch(env.test.features);
+    if (!predictions.ok()) {
+      std::cerr << "serving failed: " << predictions.status().to_string()
+                << "\n";
+      return 1;
+    }
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < predictions->size(); ++i) {
+      if ((*predictions)[i].label == env.test.labels[i]) ++correct;
+    }
+
+    const char* decision = "reused";
+    if (report->decision.action == OnlineManager::Decision::Action::NewModel) {
+      decision = "compressed new model";
+    } else if (!report->failure.ok()) {
+      decision = "FAILURE report (kept last model)";
+    }
+    log.add_row({history.date_string(day), decision,
+                 std::to_string(service->manager().repository().size()) +
+                     " in repo",
+                 fmt_pct(static_cast<double>(correct) /
+                         static_cast<double>(env.test.size()))});
   }
   log.print(std::cout);
 
-  std::cout << "\nonline optimizations: " << qucad.manager().optimizations_run()
-            << " over 90 days (" << qucad.manager().reuses()
-            << " reuses); failure reports: " << qucad.failure_reports() << "\n";
+  const ServingStats stats = service->stats();
+  std::cout << "\nserved " << stats.requests << " requests over 90 days in "
+            << stats.batches << " compiled sweeps; " << stats.compressions
+            << " online compressions, " << stats.reuses << " repository reuses, "
+            << stats.failures << " failure reports, " << stats.swaps
+            << " epoch swaps\n";
   return 0;
 }

@@ -98,8 +98,12 @@ int main() {
   //    The full framework (bench/table1_main, src/repo/) goes further:
   //    offline it clusters a year of calibrations and pre-compresses one
   //    model per cluster; online it matches each day against the repository
-  //    and reuses the stored model instead of re-optimizing. See the
-  //    data-flow diagrams in docs/ARCHITECTURE.md.
+  //    and reuses the stored model instead of re-optimizing. The deployment
+  //    shape of that loop is qucad::InferenceService (src/serve/): requests
+  //    micro-batched through the compiled engine, calibration events
+  //    hot-swapping the served model — examples/earthquake_monitor.cpp
+  //    runs it end to end. See the data-flow diagrams in
+  //    docs/ARCHITECTURE.md.
   AdmmOptions admm;
   admm.iterations = 4;
   admm.epochs_per_iteration = 1;

@@ -1,0 +1,129 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/require.hpp"
+
+namespace qucad {
+
+/// Error categories for the recoverable-error surface (the serving path).
+/// The research API reports precondition violations by throwing
+/// (common/require.hpp) — appropriate for programming errors in offline
+/// experiments, where aborting the run is the right outcome. A serving
+/// process must instead keep running and hand the failure back to the
+/// caller, so the online surface returns Status/StatusOr values.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,     // caller passed a malformed request/config
+  kFailedPrecondition,  // object state does not admit the operation
+  kNotFound,            // referenced entity does not exist
+  kUnavailable,         // transient: no trustworthy result right now
+  kInternal,            // invariant violation inside the library
+};
+
+/// Human-readable name of a status code ("ok", "invalid_argument", ...).
+inline const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid_argument";
+    case StatusCode::kFailedPrecondition: return "failed_precondition";
+    case StatusCode::kNotFound: return "not_found";
+    case StatusCode::kUnavailable: return "unavailable";
+    case StatusCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+/// Value-type error carrier: a code plus a message. Default-constructed
+/// Status is OK; error states are built with the named factories so call
+/// sites read as `Status::invalid_argument("empty batch")`.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+
+  static Status invalid_argument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status failed_precondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status not_found(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
+  }
+  static Status internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok", or the code name followed by the message ("not_found: ...").
+  std::string to_string() const {
+    if (ok()) return "ok";
+    return std::string(status_code_name(code_)) + ": " + message_;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a value or the Status explaining why there is none. Accessing
+/// value() on an error state throws PreconditionError (so tests and callers
+/// that already validated with ok() pay no branching discipline tax), which
+/// keeps the type usable from code that has not adopted Status end to end.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  /// Error state. The status must not be OK — an OK StatusOr must carry a
+  /// value.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    require(!status_.ok(), "StatusOr constructed from an OK status");
+  }
+
+  /// Value state.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    require(ok(), status_.to_string());
+    return *value_;
+  }
+  T& value() & {
+    require(ok(), status_.to_string());
+    return *value_;
+  }
+  T&& value() && {
+    require(ok(), status_.to_string());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// The value, or `fallback` when this holds an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;  // OK iff value_ is engaged
+  std::optional<T> value_;
+};
+
+}  // namespace qucad

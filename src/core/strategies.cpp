@@ -4,6 +4,23 @@
 
 namespace qucad {
 
+namespace {
+
+/// The paper's Table-I accounting executes the matched model even on
+/// Guidance-2 failure days (the miss is charged to accuracy, not skipped),
+/// so the strategies resolve a Failure decision by falling back to the
+/// matched entry explicitly — the check theta_for_decision exists to force.
+std::vector<double> theta_or_matched_entry(
+    const OnlineManager& manager, const OnlineManager::Decision& decision) {
+  const StatusOr<std::span<const double>> theta =
+      manager.theta_for_decision(decision);
+  if (theta.ok()) return std::vector<double>(theta->begin(), theta->end());
+  require(decision.entry_index >= 0, "decision does not reference an entry");
+  return manager.repository().entry(decision.entry_index).theta;
+}
+
+}  // namespace
+
 std::span<const double> BaselineStrategy::online_day(int, const Calibration&) {
   return env_.theta_pretrained;
 }
@@ -94,7 +111,7 @@ std::span<const double> QuCadWithoutOfflineStrategy::online_day(
   if (decision.action != OnlineManager::Decision::Action::NewModel) {
     --optimizations_;  // reuse days cost no optimization
   }
-  theta_ = manager_->theta_for(decision);
+  theta_ = theta_or_matched_entry(*manager_, decision);
   return theta_;
 }
 
@@ -125,7 +142,7 @@ std::span<const double> QuCadStrategy::online_day(int, const Calibration& calib)
   if (decision.action == OnlineManager::Decision::Action::Failure) {
     ++failures_;
   }
-  theta_ = manager_->theta_for(decision);
+  theta_ = theta_or_matched_entry(*manager_, decision);
   return theta_;
 }
 

@@ -14,6 +14,12 @@ struct ZneOptions {
   /// factor and the observable is extrapolated back to zero noise.
   std::vector<double> scale_factors{1.0, 2.0, 3.0};
   NoiseModelOptions noise;
+  /// Reuse compiled executors from CompiledEvalCache::global(), keyed per
+  /// (circuit, scaled calibration, noise options). Repeated ZNE calls on the
+  /// same day — every sample of an evaluation sweep — then compile each
+  /// scale factor's executor once instead of once per call. Disable to force
+  /// fresh builds (e.g. when benchmarking compilation itself).
+  bool use_cache = true;
 };
 
 /// Zero-noise extrapolation [17]: executes the circuit at amplified noise

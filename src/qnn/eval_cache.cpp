@@ -43,25 +43,8 @@ void hash_circuit_structure(Mixer& h, const Circuit& c) {
 }
 
 template <typename Mixer>
-void hash_configuration(Mixer& h, const QnnModel& model,
-                        const TranspiledModel& transpiled,
-                        std::span<const double> theta,
-                        const Calibration& calib,
-                        const NoiseModelOptions& options) {
-  h.mix(std::uint64_t{0x4e});  // key-domain tag: 'N'oisy executor
-
-  // Readout slots (class order) — they pin the executor's z ordering.
-  h.mix(static_cast<std::uint64_t>(model.readout_qubits.size()));
-  for (int q : model.readout_qubits) h.mix(q);
-
-  // Routed structure: gate list + final mapping.
-  hash_circuit_structure(h, transpiled.routed.circuit);
-  for (int p : transpiled.routed.final_mapping) h.mix(p);
-
-  // Bound parameters.
-  h.mix(static_cast<std::uint64_t>(theta.size()));
-  for (double t : theta) h.mix(t);
-
+void hash_noise_configuration(Mixer& h, const Calibration& calib,
+                              const NoiseModelOptions& options) {
   // Calibration content.
   h.mix(calib.num_qubits());
   for (int q = 0; q < calib.num_qubits(); ++q) {
@@ -83,6 +66,54 @@ void hash_configuration(Mixer& h, const QnnModel& model,
   h.mix(options.durations.cx_us);
   h.mix(options.include_thermal_relaxation);
   h.mix(options.include_readout_error);
+}
+
+template <typename Mixer>
+void hash_configuration(Mixer& h, const QnnModel& model,
+                        const TranspiledModel& transpiled,
+                        std::span<const double> theta,
+                        const Calibration& calib,
+                        const NoiseModelOptions& options) {
+  h.mix(std::uint64_t{0x4e});  // key-domain tag: 'N'oisy executor
+
+  // Readout slots (class order) — they pin the executor's z ordering.
+  h.mix(static_cast<std::uint64_t>(model.readout_qubits.size()));
+  for (int q : model.readout_qubits) h.mix(q);
+
+  // Routed structure: gate list + final mapping.
+  hash_circuit_structure(h, transpiled.routed.circuit);
+  for (int p : transpiled.routed.final_mapping) h.mix(p);
+
+  // Bound parameters.
+  h.mix(static_cast<std::uint64_t>(theta.size()));
+  for (double t : theta) h.mix(t);
+
+  hash_noise_configuration(h, calib, options);
+}
+
+/// Physical-circuit key: the lowered op stream itself (including symbolic
+/// slot references — two circuits differing only in a literal angle are
+/// distinct programs) plus readout slots, calibration and noise options.
+template <typename Mixer>
+void hash_physical_configuration(Mixer& h, const PhysicalCircuit& circuit,
+                                 const Calibration& calib,
+                                 const NoiseModelOptions& options) {
+  h.mix(std::uint64_t{0x48});  // key-domain tag: p'H'ysical-circuit executor
+  h.mix(circuit.num_qubits());
+  h.mix(static_cast<std::uint64_t>(circuit.readout_physical().size()));
+  for (int q : circuit.readout_physical()) h.mix(q);
+  h.mix(static_cast<std::uint64_t>(circuit.ops().size()));
+  for (const PhysOp& op : circuit.ops()) {
+    h.mix(static_cast<std::uint64_t>(op.kind));
+    h.mix(op.q0);
+    h.mix(op.q1);
+    h.mix(op.angle);
+    h.mix(op.input_index);
+    h.mix(op.input_scale);
+    h.mix(op.theta_index);
+    h.mix(op.theta_scale);
+  }
+  hash_noise_configuration(h, calib, options);
 }
 
 /// Pure-executor key: structure + readout slots only. Theta never enters —
@@ -213,6 +244,21 @@ std::shared_ptr<const PureExecutor> CompiledEvalCache::get_or_build_pure(
                         build_pure_executor(circuit, readout_qubits)};
          })
       .pure;
+}
+
+std::shared_ptr<const NoisyExecutor> CompiledEvalCache::get_or_build_physical(
+    const PhysicalCircuit& circuit, const Calibration& calibration,
+    const NoiseModelOptions& noise_options) {
+  Fnv h1(0xcbf29ce484222325ULL, 0x100000001b3ULL);
+  Fnv h2(0x84222325cbf29ce4ULL, 0x9e3779b97f4a7c15ULL);
+  hash_physical_configuration(h1, circuit, calibration, noise_options);
+  hash_physical_configuration(h2, circuit, calibration, noise_options);
+  return get_or_build_entry(Key{h1.state, h2.state}, [&] {
+           return Entry{std::make_shared<const NoisyExecutor>(
+                            circuit, NoiseModel(calibration, noise_options)),
+                        nullptr};
+         })
+      .noisy;
 }
 
 void CompiledEvalCache::evict_to_capacity_locked() {

@@ -83,6 +83,17 @@ class CompiledEvalCache {
   std::shared_ptr<const PureExecutor> get_or_build_pure(
       const Circuit& circuit, const std::vector<int>& readout_qubits);
 
+  /// Noisy-executor lookup for an already-lowered PhysicalCircuit, keyed on
+  /// (op stream incl. symbolic slots, readout slots, calibration values,
+  /// noise options). This is the entry point for callers that hold a
+  /// physical circuit rather than a (model, transpiled, theta) triple —
+  /// mitigation passes like zne_expectations, which revisit the same circuit
+  /// under a sweep of scaled calibrations and would otherwise re-compile a
+  /// fresh executor per scale factor per call.
+  std::shared_ptr<const NoisyExecutor> get_or_build_physical(
+      const PhysicalCircuit& circuit, const Calibration& calibration,
+      const NoiseModelOptions& noise_options);
+
   EvalCacheStats stats() const;
   void clear();
   /// Shrinks/extends the LRU capacity (evicting immediately if needed).

@@ -7,13 +7,36 @@
 
 namespace qucad {
 
-NoisyEvalResult noisy_evaluate(const QnnModel& model,
-                               const TranspiledModel& transpiled,
-                               std::span<const double> theta,
-                               const Dataset& data, const Calibration& calib,
-                               const NoisyEvalOptions& options) {
-  require(data.size() > 0, "empty evaluation set");
-  require(!model.readout_qubits.empty(), "model has no readout qubits");
+StatusOr<NoisyEvalResult> noisy_evaluate_or(const QnnModel& model,
+                                            const TranspiledModel& transpiled,
+                                            std::span<const double> theta,
+                                            const Dataset& data,
+                                            const Calibration& calib,
+                                            const NoisyEvalOptions& options) {
+  if (data.size() == 0) return Status::invalid_argument("empty evaluation set");
+  if (model.readout_qubits.empty()) {
+    return Status::failed_precondition("model has no readout qubits");
+  }
+  if (static_cast<int>(theta.size()) != model.num_params()) {
+    return Status::invalid_argument(
+        "theta has " + std::to_string(theta.size()) + " parameters, model has " +
+        std::to_string(model.num_params()));
+  }
+  const std::size_t num_inputs =
+      static_cast<std::size_t>(model.num_inputs());
+  for (const std::vector<double>& x : data.features) {
+    if (x.size() < num_inputs) {
+      return Status::invalid_argument(
+          "sample has " + std::to_string(x.size()) +
+          " features, the encoder reads " + std::to_string(num_inputs));
+    }
+  }
+  if (calib.num_qubits() < transpiled.num_physical_qubits()) {
+    return Status::invalid_argument(
+        "calibration covers " + std::to_string(calib.num_qubits()) +
+        " qubits, the routed circuit uses " +
+        std::to_string(transpiled.num_physical_qubits()));
+  }
 
   const std::shared_ptr<const NoisyExecutor> executor =
       options.use_cache
@@ -40,6 +63,20 @@ NoisyEvalResult noisy_evaluate(const QnnModel& model,
   result.accuracy =
       static_cast<double>(total_correct) / static_cast<double>(data.size());
   return result;
+}
+
+NoisyEvalResult noisy_evaluate(const QnnModel& model,
+                               const TranspiledModel& transpiled,
+                               std::span<const double> theta,
+                               const Dataset& data, const Calibration& calib,
+                               const NoisyEvalOptions& options) {
+  StatusOr<NoisyEvalResult> result =
+      noisy_evaluate_or(model, transpiled, theta, data, calib, options);
+  // Research shim: surface validation failures the historical way (throw).
+  // The message is only materialized on the failure path — this wrapper sits
+  // inside keep-best and harness loops.
+  if (!result.ok()) require(false, result.status().to_string());
+  return std::move(result).value();
 }
 
 double noisy_accuracy(const QnnModel& model, const TranspiledModel& transpiled,

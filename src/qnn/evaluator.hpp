@@ -2,6 +2,7 @@
 
 #include <span>
 
+#include "common/status.hpp"
 #include "data/dataset.hpp"
 #include "noise/calibration.hpp"
 #include "noise/noise_model.hpp"
@@ -45,6 +46,19 @@ NoisyEvalResult noisy_evaluate(const QnnModel& model,
                                std::span<const double> theta,
                                const Dataset& data, const Calibration& calib,
                                const NoisyEvalOptions& options = {});
+
+/// Status-returning form of noisy_evaluate: malformed inputs (empty dataset,
+/// missing readout qubits, theta/feature arity mismatches, a calibration
+/// that does not cover the routed device) come back as Status values instead
+/// of thrown PreconditionError. This is the validation boundary the serving
+/// layer (src/serve/) is built on; noisy_evaluate is now a thin throwing
+/// shim over it for research call sites.
+StatusOr<NoisyEvalResult> noisy_evaluate_or(const QnnModel& model,
+                                            const TranspiledModel& transpiled,
+                                            std::span<const double> theta,
+                                            const Dataset& data,
+                                            const Calibration& calib,
+                                            const NoisyEvalOptions& options = {});
 
 /// Accuracy-only convenience wrapper.
 double noisy_accuracy(const QnnModel& model, const TranspiledModel& transpiled,

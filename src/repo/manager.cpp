@@ -95,6 +95,22 @@ OnlineManager::Decision OnlineManager::process_day(const Calibration& calibratio
   return decision;
 }
 
+StatusOr<std::span<const double>> OnlineManager::theta_for_decision(
+    const Decision& decision) const {
+  if (decision.entry_index < 0 ||
+      decision.entry_index >= static_cast<int>(repository_.size())) {
+    return Status::invalid_argument(
+        "decision does not reference a repository entry");
+  }
+  if (decision.action == Decision::Action::Failure) {
+    return Status::unavailable(
+        "matched cluster is invalid (Guidance 2 failure report): no stored "
+        "model is trustworthy for this calibration");
+  }
+  const std::vector<double>& theta = repository_.entry(decision.entry_index).theta;
+  return std::span<const double>(theta);
+}
+
 const std::vector<double>& OnlineManager::theta_for(const Decision& decision) const {
   require(decision.entry_index >= 0, "decision does not reference an entry");
   return repository_.entry(decision.entry_index).theta;

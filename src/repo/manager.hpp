@@ -1,5 +1,8 @@
 #pragma once
 
+#include <span>
+
+#include "common/status.hpp"
 #include "compress/admm.hpp"
 #include "repo/repository.hpp"
 
@@ -24,6 +27,11 @@ struct ManagerOptions {
 ///  - matched cluster invalid: emit a failure report (Guidance 2)
 class OnlineManager {
  public:
+  /// Copies every input: the manager is self-contained and cannot dangle,
+  /// whatever the caller does with its arguments afterwards. (It used to
+  /// hold bare references to the model and dataset — a footgun for any
+  /// owner that outlives the objects it was built from, e.g. a serving
+  /// process constructing its manager from setup-scope temporaries.)
   OnlineManager(const QnnModel& model, const TranspiledModel& transpiled,
                 const std::vector<double>& theta_pretrained,
                 const Dataset& train_data, ModelRepository repository,
@@ -44,7 +52,21 @@ class OnlineManager {
 
   const ModelRepository& repository() const { return repository_; }
 
-  /// The parameters selected by a decision.
+  /// The parameters selected by a decision, with the failure modes surfaced
+  /// as Status instead of left for the caller to check:
+  ///  - `Decision::Action::Failure` (matched cluster invalid, Guidance 2)
+  ///    returns kUnavailable — no stored model is trustworthy today;
+  ///  - `entry_index == -1` (a decision that references no entry, e.g. a
+  ///    default-constructed one) returns kInvalidArgument.
+  /// Callers that deliberately serve the matched-but-invalid model anyway
+  /// (the paper's Table-I accounting does) can fall back to
+  /// `repository().entry(decision.entry_index).theta` explicitly.
+  StatusOr<std::span<const double>> theta_for_decision(
+      const Decision& decision) const;
+
+  /// Deprecated shim for theta_for_decision: returns the referenced entry's
+  /// parameters even for Failure decisions (the historical behavior) and
+  /// throws PreconditionError when the decision references no entry.
   const std::vector<double>& theta_for(const Decision& decision) const;
 
   int optimizations_run() const { return optimizations_; }
@@ -52,10 +74,10 @@ class OnlineManager {
   double total_optimize_seconds() const { return total_optimize_seconds_; }
 
  private:
-  const QnnModel& model_;
-  const TranspiledModel& transpiled_;
+  QnnModel model_;
+  TranspiledModel transpiled_;
   std::vector<double> theta_pretrained_;
-  const Dataset& train_data_;
+  Dataset train_data_;
   ModelRepository repository_;
   ManagerOptions options_;
 

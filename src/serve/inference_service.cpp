@@ -1,0 +1,410 @@
+#include "serve/inference_service.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/require.hpp"
+#include "common/stats.hpp"
+#include "qnn/eval_cache.hpp"
+#include "qnn/evaluator.hpp"
+
+namespace qucad {
+
+namespace {
+
+/// One immutable serving snapshot. Hot-swap replaces the shared_ptr; batches
+/// that already hold a snapshot finish on it untouched.
+struct Epoch {
+  std::uint64_t id = 0;
+  std::vector<double> theta;
+  Calibration calibration;
+  std::shared_ptr<const NoisyExecutor> executor;
+};
+
+struct PendingRequest {
+  std::vector<double> features;
+  std::promise<StatusOr<Prediction>> promise;
+};
+
+}  // namespace
+
+struct InferenceService::Impl {
+  // Only the members the serving path reads live here. The OnlineManager
+  // keeps its own copies of the model/routing/theta (it copies every ctor
+  // input by value — small relative to the datasets) and is the sole owner
+  // of the training data; the Environment's datasets are never stored
+  // twice or kept alive unused.
+  QnnModel model;
+  TranspiledModel transpiled;
+  std::vector<double> theta_pretrained;
+  ServiceConfig config;
+  OnlineManager manager;
+  std::size_t min_features = 0;  // encoder input arity
+
+  // --- epoch state -------------------------------------------------------
+  mutable std::mutex epoch_mutex;
+  std::shared_ptr<const Epoch> active;  // never null after create()
+  std::uint64_t next_epoch_id = 1;
+  std::mutex admin_mutex;  // serializes on_calibration events
+
+  // --- micro-batcher -----------------------------------------------------
+  std::mutex queue_mutex;
+  std::condition_variable queue_cv;
+  std::deque<PendingRequest> queue;
+  bool stopping = false;
+  std::thread dispatcher;
+
+  // --- monitoring --------------------------------------------------------
+  mutable std::mutex stats_mutex;
+  ServingStats counters;
+
+  Impl(Environment env, ModelRepository repository, ServiceConfig config_in)
+      : model(std::move(env.model)),
+        transpiled(std::move(env.transpiled)),
+        theta_pretrained(std::move(env.theta_pretrained)),
+        config(std::move(config_in)),
+        manager(model, transpiled, theta_pretrained, env.train,
+                std::move(repository), config.manager),
+        min_features(static_cast<std::size_t>(model.num_inputs())) {}
+
+  ~Impl() {
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex);
+      stopping = true;
+    }
+    queue_cv.notify_all();
+    if (dispatcher.joinable()) dispatcher.join();
+  }
+
+  std::shared_ptr<const NoisyExecutor> build_executor(
+      std::span<const double> theta, const Calibration& calibration) const {
+    if (config.eval.use_cache) {
+      return CompiledEvalCache::global().get_or_build(
+          model, transpiled, theta, calibration, config.eval.noise);
+    }
+    return build_noisy_executor(model, transpiled, theta, calibration,
+                                config.eval.noise);
+  }
+
+  std::shared_ptr<const Epoch> load_epoch() const {
+    std::lock_guard<std::mutex> lock(epoch_mutex);
+    return active;
+  }
+
+  /// Installs a fully-built epoch as the active one. The only writer of
+  /// `active`; callers hold admin_mutex (or are create()).
+  std::uint64_t install_epoch(std::vector<double> theta,
+                              const Calibration& calibration) {
+    auto epoch = std::make_shared<Epoch>();
+    epoch->theta = std::move(theta);
+    epoch->calibration = calibration;
+    epoch->executor = build_executor(epoch->theta, calibration);
+    std::lock_guard<std::mutex> lock(epoch_mutex);
+    epoch->id = next_epoch_id++;
+    active = std::move(epoch);
+    return active->id;
+  }
+
+  Status validate_features(const std::vector<double>& features) const {
+    if (features.size() < min_features) {
+      return Status::invalid_argument(
+          "request has " + std::to_string(features.size()) +
+          " features, the encoder reads " + std::to_string(min_features));
+    }
+    return Status();
+  }
+
+  /// Runs one compiled sweep over `features` on the given epoch. Exact mode
+  /// (shots == 0) makes the result independent of how requests were grouped.
+  std::vector<Prediction> run_batch(const Epoch& epoch,
+                                    std::span<const std::vector<double>> features) {
+    std::vector<std::vector<double>> zs = epoch.executor->run_z_batch(
+        features, config.eval.shots, config.eval.shot_seed, config.eval.pool);
+    std::vector<Prediction> predictions(zs.size());
+    for (std::size_t i = 0; i < zs.size(); ++i) {
+      predictions[i].label = static_cast<int>(argmax(zs[i]));
+      predictions[i].logits = std::move(zs[i]);
+      predictions[i].epoch = epoch.id;
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex);
+      ++counters.batches;
+      counters.requests += zs.size();
+    }
+    return predictions;
+  }
+
+  /// Dispatcher body: coalesce waiting submit() requests into one sweep.
+  void dispatch_loop() {
+    std::unique_lock<std::mutex> lock(queue_mutex);
+    for (;;) {
+      queue_cv.wait(lock, [&] { return stopping || !queue.empty(); });
+      if (queue.empty()) return;  // stopping with nothing left to drain
+
+      // First request in hand: wait up to batch_window for stragglers so
+      // concurrent callers share one compiled sweep.
+      if (config.batch_window.count() > 0 &&
+          queue.size() < config.max_batch_size && !stopping) {
+        const auto deadline =
+            std::chrono::steady_clock::now() + config.batch_window;
+        while (queue.size() < config.max_batch_size && !stopping) {
+          if (queue_cv.wait_until(lock, deadline) ==
+              std::cv_status::timeout) {
+            break;
+          }
+        }
+      }
+
+      const std::size_t take = std::min(queue.size(), config.max_batch_size);
+      std::vector<PendingRequest> batch;
+      batch.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue.front()));
+        queue.pop_front();
+      }
+      lock.unlock();
+      serve_pending(batch);
+      lock.lock();
+    }
+  }
+
+  void serve_pending(std::vector<PendingRequest>& batch) {
+    const std::shared_ptr<const Epoch> epoch = load_epoch();
+    std::vector<std::vector<double>> features;
+    features.reserve(batch.size());
+    for (PendingRequest& request : batch) {
+      features.push_back(std::move(request.features));
+    }
+    try {
+      std::vector<Prediction> predictions = run_batch(*epoch, features);
+      if (batch.size() > 1) {
+        // Count before fulfilling: a caller that reads stats() right after
+        // its future resolves must already see its own coalescing.
+        std::lock_guard<std::mutex> lock(stats_mutex);
+        counters.coalesced += batch.size();
+      }
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        batch[i].promise.set_value(std::move(predictions[i]));
+      }
+    } catch (const std::exception& e) {
+      // Features were validated at submit(); anything thrown here is a
+      // library invariant failure. Fail the batch, keep the service up.
+      for (PendingRequest& request : batch) {
+        request.promise.set_value(
+            Status::internal(std::string("batch sweep failed: ") + e.what()));
+      }
+    }
+  }
+};
+
+StatusOr<InferenceService> InferenceService::create(
+    Environment env, ModelRepository repository,
+    const Calibration& initial_calibration,
+    std::optional<ServiceConfig> config) {
+  ServiceConfig resolved =
+      config.has_value() ? std::move(*config) : ServiceConfig::from_environment(env);
+  if (Status status = resolved.validate(); !status.ok()) return status;
+
+  if (env.model.readout_qubits.empty()) {
+    return Status::failed_precondition("model has no readout qubits");
+  }
+  if (static_cast<int>(env.theta_pretrained.size()) != env.model.num_params()) {
+    return Status::invalid_argument(
+        "theta_pretrained has " + std::to_string(env.theta_pretrained.size()) +
+        " parameters, model has " + std::to_string(env.model.num_params()));
+  }
+  if (env.train.size() == 0) {
+    return Status::failed_precondition(
+        "empty training set: calibration events that miss the repository "
+        "compress a new model online and need training data");
+  }
+  if (initial_calibration.num_qubits() < env.transpiled.num_physical_qubits()) {
+    return Status::invalid_argument(
+        "calibration covers " + std::to_string(initial_calibration.num_qubits()) +
+        " qubits, the routed circuit uses " +
+        std::to_string(env.transpiled.num_physical_qubits()));
+  }
+
+  auto impl = std::make_unique<Impl>(std::move(env), std::move(repository),
+                                     std::move(resolved));
+  try {
+    impl->install_epoch(impl->theta_pretrained, initial_calibration);
+  } catch (const std::exception& e) {
+    return Status::invalid_argument(
+        std::string("cannot compile the initial epoch: ") + e.what());
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl->stats_mutex);
+    ++impl->counters.swaps;
+  }
+  impl->dispatcher = std::thread([raw = impl.get()] { raw->dispatch_loop(); });
+  return InferenceService(std::move(impl));
+}
+
+InferenceService::InferenceService(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+
+InferenceService::~InferenceService() = default;
+InferenceService::InferenceService(InferenceService&&) noexcept = default;
+InferenceService& InferenceService::operator=(InferenceService&&) noexcept =
+    default;
+
+StatusOr<Prediction> InferenceService::submit(std::vector<double> features) {
+  if (Status status = impl_->validate_features(features); !status.ok()) {
+    return status;
+  }
+  std::future<StatusOr<Prediction>> result;
+  {
+    std::lock_guard<std::mutex> lock(impl_->queue_mutex);
+    if (impl_->stopping) {
+      return Status::unavailable("service is shutting down");
+    }
+    PendingRequest request;
+    request.features = std::move(features);
+    result = request.promise.get_future();
+    impl_->queue.push_back(std::move(request));
+  }
+  impl_->queue_cv.notify_all();
+  return result.get();
+}
+
+StatusOr<std::vector<Prediction>> InferenceService::submit_batch(
+    std::span<const std::vector<double>> batch) {
+  if (batch.empty()) return Status::invalid_argument("empty batch");
+  for (const std::vector<double>& features : batch) {
+    if (Status status = impl_->validate_features(features); !status.ok()) {
+      return status;
+    }
+  }
+  const std::shared_ptr<const Epoch> epoch = impl_->load_epoch();
+  try {
+    return impl_->run_batch(*epoch, batch);
+  } catch (const std::exception& e) {
+    return Status::internal(std::string("batch sweep failed: ") + e.what());
+  }
+}
+
+StatusOr<CalibrationReport> InferenceService::on_calibration(
+    const Calibration& calibration) {
+  if (calibration.num_qubits() < impl_->transpiled.num_physical_qubits()) {
+    return Status::invalid_argument(
+        "calibration covers " + std::to_string(calibration.num_qubits()) +
+        " qubits, the routed circuit uses " +
+        std::to_string(impl_->transpiled.num_physical_qubits()));
+  }
+
+  // One calibration event at a time; requests keep serving the current
+  // epoch for however long the repository decision (possibly a full online
+  // compression) takes.
+  std::lock_guard<std::mutex> admin(impl_->admin_mutex);
+
+  CalibrationReport report;
+  try {
+    report.decision = impl_->manager.process_day(calibration);
+  } catch (const std::exception& e) {
+    return Status::internal(std::string("repository decision failed: ") +
+                            e.what());
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl_->stats_mutex);
+    using Action = OnlineManager::Decision::Action;
+    if (report.decision.action == Action::Reuse) ++impl_->counters.reuses;
+    if (report.decision.action == Action::NewModel) {
+      ++impl_->counters.compressions;
+    }
+    if (report.decision.action == Action::Failure) ++impl_->counters.failures;
+  }
+
+  const StatusOr<std::span<const double>> theta =
+      impl_->manager.theta_for_decision(report.decision);
+  std::vector<double> next_theta;
+  if (theta.ok()) {
+    next_theta.assign(theta->begin(), theta->end());
+  } else {
+    report.failure = theta.status();
+    if (impl_->config.failure_policy ==
+            ServiceConfig::FailurePolicy::kKeepServing ||
+        report.decision.entry_index < 0) {
+      // Guidance 2: keep the trusted epoch, hand the operator the report.
+      report.swapped = false;
+      report.epoch = active_epoch();
+      return report;
+    }
+    // kServeMatched: install the matched-but-invalid model anyway.
+    next_theta =
+        impl_->manager.repository().entry(report.decision.entry_index).theta;
+  }
+
+  try {
+    report.epoch = impl_->install_epoch(std::move(next_theta), calibration);
+  } catch (const std::exception& e) {
+    return Status::internal(std::string("cannot compile the new epoch: ") +
+                            e.what());
+  }
+  report.swapped = true;
+  {
+    std::lock_guard<std::mutex> lock(impl_->stats_mutex);
+    ++impl_->counters.swaps;
+  }
+  return report;
+}
+
+std::uint64_t InferenceService::active_epoch() const {
+  return impl_->load_epoch()->id;
+}
+
+std::vector<double> InferenceService::active_theta() const {
+  return impl_->load_epoch()->theta;
+}
+
+ServingStats InferenceService::stats() const {
+  std::lock_guard<std::mutex> lock(impl_->stats_mutex);
+  return impl_->counters;
+}
+
+const OnlineManager& InferenceService::manager() const {
+  return impl_->manager;
+}
+
+MethodResult run_longitudinal(InferenceService& service, const Dataset& test,
+                              const std::vector<Calibration>& online_days,
+                              const HarnessOptions& options) {
+  require(!online_days.empty(), "no online days to evaluate");
+  require(test.size() > 0, "empty test set");
+
+  MethodResult result;
+  result.method = "InferenceService";
+  result.daily_accuracy.reserve(online_days.size());
+
+  for (std::size_t d = 0; d < online_days.size();
+       d += static_cast<std::size_t>(options.day_stride)) {
+    const StatusOr<CalibrationReport> report =
+        service.on_calibration(online_days[d]);
+    if (!report.ok()) require(false, report.status().to_string());
+    result.online_optimize_seconds += report->decision.optimize_seconds;
+    if (report->decision.action ==
+        OnlineManager::Decision::Action::NewModel) {
+      ++result.optimizations;
+    }
+
+    const StatusOr<std::vector<Prediction>> predictions =
+        service.submit_batch(test.features);
+    if (!predictions.ok()) require(false, predictions.status().to_string());
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < predictions->size(); ++i) {
+      if ((*predictions)[i].label == test.labels[i]) ++correct;
+    }
+    result.daily_accuracy.push_back(static_cast<double>(correct) /
+                                    static_cast<double>(test.size()));
+  }
+
+  result.metrics = summarize_series(result.daily_accuracy);
+  return result;
+}
+
+}  // namespace qucad

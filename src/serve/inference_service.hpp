@@ -1,0 +1,160 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+#include "core/strategy.hpp"
+#include "eval/harness.hpp"
+#include "eval/metrics.hpp"
+#include "repo/manager.hpp"
+#include "serve/service_config.hpp"
+
+namespace qucad {
+
+/// One classified request.
+struct Prediction {
+  /// argmax over `logits` — the predicted class.
+  int label = -1;
+  /// Class logits, read positionally per the readout-slot contract: entry k
+  /// is `<Z>` of readout slot k (class k), never indexed by qubit id.
+  std::vector<double> logits;
+  /// The serving epoch that produced this prediction. Every request of one
+  /// micro-batch carries the same epoch, and a hot-swap never changes the
+  /// epoch of an in-flight batch.
+  std::uint64_t epoch = 0;
+};
+
+/// What a calibration event did to the service.
+struct CalibrationReport {
+  /// The repository decision (reuse / new model / Guidance-2 failure).
+  OnlineManager::Decision decision;
+  /// The epoch serving AFTER the event (unchanged when swapped is false).
+  std::uint64_t epoch = 0;
+  /// True when the event installed a new executor.
+  bool swapped = false;
+  /// OK unless the matched cluster was invalid (Guidance 2); then the
+  /// kUnavailable status an operator should alert on. With
+  /// FailurePolicy::kKeepServing the old epoch keeps serving; with
+  /// kServeMatched the weak matched model was installed despite this.
+  Status failure;
+};
+
+/// Monitoring counters; all reads are thread-safe snapshots.
+struct ServingStats {
+  std::uint64_t requests = 0;        ///< submit() + submit_batch() samples
+  std::uint64_t batches = 0;         ///< compiled batch sweeps executed
+  std::uint64_t coalesced = 0;       ///< submit() requests that shared a sweep
+  std::uint64_t swaps = 0;           ///< epochs installed (including the first)
+  std::uint64_t reuses = 0;          ///< calibration events answered from the repository
+  std::uint64_t compressions = 0;    ///< calibration events that compressed a new model
+  std::uint64_t failures = 0;        ///< Guidance-2 failure reports
+};
+
+/// Thread-safe online serving surface for a compressed-model repository —
+/// the deployment shape of the paper's Sec. III-D loop ("each day's
+/// calibration picks a model; requests are classified under that day's
+/// noise"):
+///
+///  - `create` validates its inputs (Status, not aborts) and takes
+///    ownership of the model, routing, training data and repository BY
+///    VALUE: the service cannot dangle, whatever the caller does with the
+///    setup-scope objects it was built from.
+///  - `submit` / `submit_batch` classify feature vectors on the compiled
+///    density-matrix engine. Concurrent `submit` callers are micro-batched:
+///    a dispatcher coalesces up to `max_batch_size` waiting requests
+///    (waiting at most `batch_window` for stragglers) into ONE
+///    `run_z_batch` sweep spread over the shared ThreadPool.
+///  - `on_calibration` runs the repository decision for a new calibration
+///    snapshot (reuse / compress-new / failure report) and atomically
+///    hot-swaps the active compiled executor: epochs are immutable
+///    shared_ptr snapshots, so in-flight batches finish on the program they
+///    started with and every prediction names the epoch that produced it.
+///
+/// Concurrency contract: `submit`, `submit_batch`, `active_epoch` and
+/// `stats` may be called from any number of threads, concurrently with one
+/// another and with `on_calibration`. `on_calibration` itself is serialized
+/// internally (events are processed one at a time, in arrival order).
+/// `manager()` exposes the underlying repository state for inspection and
+/// is NOT synchronized against concurrent `on_calibration` — monitoring
+/// loops should read `stats()` instead.
+///
+/// With `eval.shots == 0` (the default) predictions are exact expectations:
+/// a request's logits are bitwise-identical however requests are split into
+/// micro-batches and whatever pool serves them. Shot-sampled serving
+/// (`shots > 0`) draws each batch's RNG streams from the batch layout, so
+/// determinism then holds only for a fixed request->batch assignment.
+class InferenceService {
+ public:
+  /// Builds a service serving `env.model` (routed as `env.transpiled`,
+  /// pretrained at `env.theta_pretrained`) against `repository`. The first
+  /// epoch compiles the pretrained parameters under `initial_calibration`;
+  /// feed subsequent calibration snapshots through on_calibration. Pass an
+  /// empty repository to bootstrap online (Table-I "QuCAD w/o offline").
+  ///
+  /// When `config` is not given it is consolidated from the environment
+  /// (ServiceConfig::from_environment), so the service evaluates exactly
+  /// like the research harness evaluated `env`.
+  static StatusOr<InferenceService> create(
+      Environment env, ModelRepository repository,
+      const Calibration& initial_calibration,
+      std::optional<ServiceConfig> config = std::nullopt);
+
+  /// Drains in-flight requests, then stops the dispatcher.
+  ~InferenceService();
+
+  InferenceService(InferenceService&&) noexcept;
+  InferenceService& operator=(InferenceService&&) noexcept;
+  InferenceService(const InferenceService&) = delete;
+  InferenceService& operator=(const InferenceService&) = delete;
+
+  /// Classifies one feature vector. Blocks until the result is ready —
+  /// concurrent callers are coalesced into shared compiled sweeps. Returns
+  /// kInvalidArgument for a malformed request (wrong feature arity) and
+  /// kUnavailable once the service is shutting down.
+  StatusOr<Prediction> submit(std::vector<double> features);
+
+  /// Classifies a caller-assembled batch through one compiled sweep,
+  /// bypassing the coalescing window (the batch is already a batch).
+  /// All-or-nothing validation: any malformed sample fails the whole call.
+  StatusOr<std::vector<Prediction>> submit_batch(
+      std::span<const std::vector<double>> batch);
+
+  /// Processes one calibration snapshot: repository match -> reuse, or
+  /// online noise-aware compression -> new repository entry, or Guidance-2
+  /// failure report — then hot-swaps the active executor (subject to
+  /// FailurePolicy). Slow on compression days by design; requests keep
+  /// being served from the current epoch throughout.
+  StatusOr<CalibrationReport> on_calibration(const Calibration& calibration);
+
+  /// Id of the epoch currently serving (monotonically increasing from 1).
+  std::uint64_t active_epoch() const;
+
+  /// Parameters the active epoch serves (the repository entry installed by
+  /// the last swap, or the pretrained theta before any swap).
+  std::vector<double> active_theta() const;
+
+  ServingStats stats() const;
+
+  /// Repository/decision state. Not synchronized against a concurrent
+  /// on_calibration — single-threaded inspection only.
+  const OnlineManager& manager() const;
+
+ private:
+  struct Impl;
+  explicit InferenceService(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Serving-layer counterpart of the strategy harness: feeds each day's
+/// calibration through on_calibration, classifies `test` with submit_batch
+/// under that day's noise, and summarizes the daily accuracy series like
+/// eval/harness run_longitudinal does for a Strategy.
+MethodResult run_longitudinal(InferenceService& service, const Dataset& test,
+                              const std::vector<Calibration>& online_days,
+                              const HarnessOptions& options = {});
+
+}  // namespace qucad

@@ -1,0 +1,37 @@
+#include "serve/service_config.hpp"
+
+#include "core/qucad.hpp"
+
+namespace qucad {
+
+Status ServiceConfig::validate() const {
+  if (max_batch_size == 0) {
+    return Status::invalid_argument("max_batch_size must be at least 1");
+  }
+  if (batch_window.count() < 0) {
+    return Status::invalid_argument("batch_window must be non-negative");
+  }
+  if (eval.shots < 0) {
+    return Status::invalid_argument("shots must be non-negative (0 = exact)");
+  }
+  if (manager.bootstrap_scale <= 0.0) {
+    return Status::invalid_argument("bootstrap_scale must be positive");
+  }
+  return Status();
+}
+
+ServiceConfig ServiceConfig::from_pipeline(const PipelineConfig& pipeline) {
+  ServiceConfig config;
+  config.eval = pipeline.eval;
+  config.manager = pipeline.manager_options;
+  return config;
+}
+
+ServiceConfig ServiceConfig::from_environment(const Environment& env) {
+  ServiceConfig config;
+  config.eval = env.eval;
+  config.manager = env.manager_options;
+  return config;
+}
+
+}  // namespace qucad

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+
+#include "common/status.hpp"
+#include "qnn/evaluator.hpp"
+#include "repo/manager.hpp"
+
+namespace qucad {
+
+struct PipelineConfig;  // core/qucad.hpp
+struct Environment;     // core/strategy.hpp
+
+/// One consolidated configuration for the online serving surface. The
+/// research pipeline spreads its knobs over nested option structs
+/// (`PipelineConfig` holding `NoisyEvalOptions`, `ManagerOptions`, ADMM
+/// settings, ...); the serving layer needs exactly two of those groups —
+/// how to execute a request (`eval`) and how to react to a calibration
+/// event (`manager`) — plus its own batching/hot-swap knobs, so they live
+/// flat in one struct with builder-style setters and validated construction
+/// (`InferenceService::create` rejects an invalid config with a Status
+/// instead of aborting).
+struct ServiceConfig {
+  /// What to keep serving when a calibration event ends in a Guidance-2
+  /// failure report (the matched repository cluster is invalid).
+  enum class FailurePolicy {
+    /// Keep the current epoch; the report carries the failure Status. The
+    /// operator decides what to do — the service never silently serves a
+    /// model the repository flagged as untrustworthy.
+    kKeepServing,
+    /// Hot-swap to the matched (weak) model anyway — the paper's Table-I
+    /// accounting, where failure days still execute and the miss shows up
+    /// in accuracy.
+    kServeMatched,
+  };
+
+  /// Request-execution knobs: noise model options, shots (0 = exact
+  /// density-matrix expectations — the only mode whose predictions are
+  /// invariant under micro-batch boundaries), executor cache, worker pool.
+  NoisyEvalOptions eval;
+
+  /// Repository-decision knobs for calibration events (reuse threshold
+  /// bootstrap, online-compression ADMM settings, failure reports).
+  ManagerOptions manager;
+
+  /// Upper bound on requests coalesced into one compiled batch sweep.
+  std::size_t max_batch_size = 32;
+
+  /// How long the dispatcher waits for more concurrent submitters after the
+  /// first request of a batch arrives. Zero serves every request as its own
+  /// batch (lowest latency, no coalescing).
+  std::chrono::microseconds batch_window{200};
+
+  FailurePolicy failure_policy = FailurePolicy::kKeepServing;
+
+  ServiceConfig& with_eval(NoisyEvalOptions value) {
+    eval = std::move(value);
+    return *this;
+  }
+  ServiceConfig& with_manager(ManagerOptions value) {
+    manager = std::move(value);
+    return *this;
+  }
+  ServiceConfig& with_max_batch_size(std::size_t value) {
+    max_batch_size = value;
+    return *this;
+  }
+  ServiceConfig& with_batch_window(std::chrono::microseconds value) {
+    batch_window = value;
+    return *this;
+  }
+  ServiceConfig& with_failure_policy(FailurePolicy value) {
+    failure_policy = value;
+    return *this;
+  }
+  ServiceConfig& with_shots(int shots) {
+    eval.shots = shots;
+    return *this;
+  }
+
+  /// OK when every knob is in range; the first violation otherwise.
+  Status validate() const;
+
+  /// Consolidates the serving-relevant groups out of a research
+  /// PipelineConfig (eval + manager_options; the training/compression knobs
+  /// the service does not own are dropped).
+  static ServiceConfig from_pipeline(const PipelineConfig& pipeline);
+
+  /// Same consolidation from a prepared Environment — what
+  /// InferenceService::create defaults to when no config is given, so a
+  /// service built from an Environment evaluates exactly like the research
+  /// harness did.
+  static ServiceConfig from_environment(const Environment& env);
+};
+
+}  // namespace qucad

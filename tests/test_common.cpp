@@ -2,11 +2,13 @@
 
 #include <atomic>
 #include <cmath>
+#include <memory>
 #include <set>
 
 #include "common/require.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "common/status.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
 
@@ -174,6 +176,54 @@ TEST(Table, PercentFormatting) {
   EXPECT_EQ(fmt_pct(0.7567), "75.67%");
   EXPECT_EQ(fmt_pct_signed(0.1632), "+16.32%");
   EXPECT_EQ(fmt_pct_signed(-0.0065), "-0.65%");
+}
+
+TEST(Status, DefaultIsOk) {
+  const Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.to_string(), "ok");
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage) {
+  const Status status = Status::invalid_argument("bad batch");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad batch");
+  EXPECT_EQ(status.to_string(), "invalid_argument: bad batch");
+  EXPECT_EQ(Status::unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::failed_precondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::not_found("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(result.value_or(7), 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(StatusOr, HoldsError) {
+  const StatusOr<int> result = Status::not_found("no entry");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(result.value_or(7), 7);
+  EXPECT_THROW(result.value(), PreconditionError);
+}
+
+TEST(StatusOr, RejectsOkStatus) {
+  EXPECT_THROW(StatusOr<int>{Status{}}, PreconditionError);
+}
+
+TEST(StatusOr, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> result = std::make_unique<int>(9);
+  ASSERT_TRUE(result.ok());
+  const std::unique_ptr<int> owned = std::move(result).value();
+  EXPECT_EQ(*owned, 9);
 }
 
 }  // namespace

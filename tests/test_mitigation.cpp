@@ -7,6 +7,7 @@
 #include "mitigation/stability.hpp"
 #include "mitigation/zne.hpp"
 #include "noise/calibration_history.hpp"
+#include "qnn/eval_cache.hpp"
 #include "transpile/transpiler.hpp"
 
 namespace qucad {
@@ -105,6 +106,56 @@ TEST(Zne, RecoversIdealExpectationOnSimpleCircuit) {
   const double z_ideal = std::cos(0.8);
 
   EXPECT_LT(std::abs(z_zne - z_ideal), std::abs(z_noisy - z_ideal));
+}
+
+TEST(ZneCache, CachedSweepMatchesUncachedAndStopsRecompiling) {
+  Circuit c(2);
+  c.ry(0, 0.8).cry(0, 1, 0.5);
+  RoutedCircuit routed;
+  routed.circuit = c;
+  routed.initial_layout = trivial_layout(2);
+  routed.final_mapping = routed.initial_layout;
+  const PhysicalCircuit phys = lower_to_basis(routed, {});
+
+  Calibration cal(2, {{0, 1}});
+  cal.set_sx_error(0, 2e-3);
+  cal.set_sx_error(1, 2e-3);
+  cal.set_cx_error(0, 1, 0.03);
+  cal.set_readout(0, {0.02, 0.02});
+
+  ZneOptions cached;
+  cached.noise.include_thermal_relaxation = false;
+  ZneOptions uncached = cached;
+  uncached.use_cache = false;
+
+  CompiledEvalCache::global().clear();
+  const std::vector<double> first = zne_expectations(phys, cal, {}, cached);
+  const EvalCacheStats cold = CompiledEvalCache::global().stats();
+  EXPECT_EQ(cold.misses, cached.scale_factors.size())
+      << "one compiled executor per scale factor";
+
+  const std::vector<double> second = zne_expectations(phys, cal, {}, cached);
+  const EvalCacheStats warm = CompiledEvalCache::global().stats();
+  EXPECT_EQ(warm.misses, cold.misses) << "repeat call must not recompile";
+  EXPECT_EQ(warm.hits, cold.hits + cached.scale_factors.size());
+
+  const std::vector<double> reference = zne_expectations(phys, cal, {}, uncached);
+  ASSERT_EQ(first.size(), reference.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i], second[i]) << "slot " << i;
+    EXPECT_EQ(first[i], reference[i])
+        << "cached executor must replay the identical program, slot " << i;
+  }
+
+  // A different scale factor set keys different executors (the scaled
+  // calibration is part of the key), never a stale hit.
+  ZneOptions shifted = cached;
+  shifted.scale_factors = {1.0, 1.5, 2.0};
+  const std::vector<double> other = zne_expectations(phys, cal, {}, shifted);
+  const EvalCacheStats after = CompiledEvalCache::global().stats();
+  EXPECT_EQ(after.misses, warm.misses + 1)
+      << "factors 1.0 and 2.0 were cached by the first sweep; only 1.5 is new";
+  EXPECT_NE(other[0], 0.0);
 }
 
 TEST(Stability, HellingerBasics) {

@@ -279,6 +279,74 @@ TEST(Manager, FailureReportOnInvalidCluster) {
   EXPECT_EQ(decision.action, OnlineManager::Decision::Action::Failure);
 }
 
+TEST(Manager, ThetaForDecisionSurfacesFailureAsStatus) {
+  RepoFixture fx;
+  ModelRepository repo;
+  repo.set_weights(std::vector<double>(
+      fx.history.day(0).feature_vector().size(), 1.0));
+  RepoEntry good;
+  good.centroid = fx.history.day(10).feature_vector();
+  good.theta = fx.theta;
+  repo.add(good);
+  RepoEntry weak = good;
+  weak.theta[0] += 1.0;
+  weak.valid = false;
+  repo.add(weak);
+  repo.set_threshold(1e9);
+
+  OnlineManager manager(fx.model, fx.transpiled, fx.theta, fx.train,
+                        std::move(repo), ManagerOptions{});
+
+  // A reuse decision resolves to the stored parameters.
+  OnlineManager::Decision reuse;
+  reuse.action = OnlineManager::Decision::Action::Reuse;
+  reuse.entry_index = 0;
+  const StatusOr<std::span<const double>> ok =
+      manager.theta_for_decision(reuse);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(std::vector<double>(ok->begin(), ok->end()), fx.theta);
+
+  // Guidance-2 failure: kUnavailable, the caller must opt into the weak
+  // model explicitly instead of getting it silently.
+  OnlineManager::Decision failure;
+  failure.action = OnlineManager::Decision::Action::Failure;
+  failure.entry_index = 1;
+  const StatusOr<std::span<const double>> unavailable =
+      manager.theta_for_decision(failure);
+  ASSERT_FALSE(unavailable.ok());
+  EXPECT_EQ(unavailable.status().code(), StatusCode::kUnavailable);
+  // The documented fallback (and the legacy shim) still reach the entry.
+  EXPECT_EQ(manager.repository().entry(1).theta, manager.theta_for(failure));
+
+  // A decision that references nothing: kInvalidArgument from the Status
+  // surface, PreconditionError from the legacy shim.
+  const OnlineManager::Decision empty;
+  EXPECT_EQ(manager.theta_for_decision(empty).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_THROW(manager.theta_for(empty), PreconditionError);
+}
+
+TEST(Manager, OwnsItsStateByValue) {
+  RepoFixture fx;
+  ManagerOptions options;
+  options.admm = fx.fast_constructor_options().admm;
+  // Build the manager from scope-local copies that die immediately — the
+  // manager must keep working because it copies, not references (the
+  // pre-serving-layer dangling footgun, caught by ASan if regressed).
+  auto make_manager = [&] {
+    const QnnModel model_copy = fx.model;
+    const TranspiledModel transpiled_copy = fx.transpiled;
+    const Dataset train_copy = fx.train;
+    const std::vector<double> theta_copy = fx.theta;
+    return OnlineManager(model_copy, transpiled_copy, theta_copy, train_copy,
+                         ModelRepository{}, options);
+  };
+  OnlineManager manager = make_manager();
+  const auto decision = manager.process_day(fx.history.day(0));
+  EXPECT_EQ(decision.action, OnlineManager::Decision::Action::NewModel);
+  ASSERT_TRUE(manager.theta_for_decision(decision).ok());
+}
+
 TEST(Manager, BootstrapModeStartsWithCompression) {
   RepoFixture fx;
   ManagerOptions options;

@@ -1,0 +1,457 @@
+// The serving layer's contract tests: config validation, Status-based
+// creation, submit/submit_batch equivalence with the research evaluator,
+// calibration-event decisions + epoch hot-swap semantics, and — the load-
+// bearing one — epoch consistency under concurrent submit/hot-swap traffic
+// (every prediction must be bitwise-identical to a sequential evaluation on
+// the epoch it names). Test names start with Serve* so the TSan CTest
+// preset can select the concurrency surface by name.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/qucad.hpp"
+#include "core/strategies.hpp"
+#include "data/seismic_synth.hpp"
+#include "noise/calibration_history.hpp"
+#include "qnn/eval_cache.hpp"
+#include "qnn/evaluator.hpp"
+#include "qnn/trainer.hpp"
+#include "serve/inference_service.hpp"
+#include "transpile/transpiler.hpp"
+
+namespace qucad {
+namespace {
+
+/// Small but real serving environment: a trained 4-qubit detector routed on
+/// belem, with fast ADMM settings for online-compression days.
+struct ServeFixture {
+  Environment env;
+  CalibrationHistory history{FluctuationScenario::belem(), 120, 77};
+
+  ServeFixture() {
+    Dataset raw = make_seismic(96, 5);
+    env.train = FeatureScaler::fit(raw).transform(raw);
+    env.model = build_paper_model(4, 4, 2, 1);
+    env.theta_pretrained = init_params(env.model, 7);
+    TrainConfig config;
+    config.epochs = 4;
+    train_model(env.model, env.theta_pretrained, env.train, config);
+    env.transpiled = transpile_model(env.model.circuit, env.model.readout_qubits,
+                                     CouplingMap::belem(), &history.day(0));
+    env.manager_options.admm.iterations = 2;
+    env.manager_options.admm.epochs_per_iteration = 1;
+    env.manager_options.admm.finetune_epochs = 0;
+    env.admm = env.manager_options.admm;
+  }
+
+  /// A repository of valid entries with distinct parameters, thresholded so
+  /// every day matches — calibration events become cheap hot-swaps (no
+  /// online compression), which is what the swap-under-load tests want.
+  ModelRepository reuse_only_repository(int entries) const {
+    ModelRepository repo;
+    repo.set_weights(std::vector<double>(
+        history.day(0).feature_vector().size(), 1.0));
+    for (int i = 0; i < entries; ++i) {
+      RepoEntry entry;
+      entry.centroid = history.day(10 + 20 * i).feature_vector();
+      entry.theta = env.theta_pretrained;
+      entry.theta[static_cast<std::size_t>(i) % entry.theta.size()] += 0.1 * (i + 1);
+      entry.tag = "fixture-" + std::to_string(i);
+      repo.add(std::move(entry));
+    }
+    repo.set_threshold(1e9);
+    return repo;
+  }
+};
+
+TEST(ServeConfig, ValidateRejectsBadKnobs) {
+  EXPECT_TRUE(ServiceConfig().validate().ok());
+  EXPECT_EQ(ServiceConfig().with_max_batch_size(0).validate().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ServiceConfig()
+                .with_batch_window(std::chrono::microseconds(-1))
+                .validate()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ServiceConfig().with_shots(-5).validate().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ServeConfig, ConsolidatesFromPipelineAndEnvironment) {
+  PipelineConfig pipeline;
+  pipeline.eval.shots = 128;
+  pipeline.manager_options.bootstrap_scale = 2.5;
+  const ServiceConfig from_pipeline = ServiceConfig::from_pipeline(pipeline);
+  EXPECT_EQ(from_pipeline.eval.shots, 128);
+  EXPECT_DOUBLE_EQ(from_pipeline.manager.bootstrap_scale, 2.5);
+
+  Environment env;
+  env.eval.shots = 64;
+  env.manager_options.enable_failure_reports = false;
+  const ServiceConfig from_env = ServiceConfig::from_environment(env);
+  EXPECT_EQ(from_env.eval.shots, 64);
+  EXPECT_FALSE(from_env.manager.enable_failure_reports);
+}
+
+TEST(ServeCreate, RejectsInvalidInputsWithStatus) {
+  ServeFixture fx;
+
+  Environment no_train = fx.env;
+  no_train.train = Dataset{};
+  EXPECT_EQ(InferenceService::create(std::move(no_train), {}, fx.history.day(0))
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+
+  Environment bad_theta = fx.env;
+  bad_theta.theta_pretrained.pop_back();
+  EXPECT_EQ(InferenceService::create(std::move(bad_theta), {}, fx.history.day(0))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  // A calibration that does not cover the routed device.
+  const Calibration narrow(2, {{0, 1}});
+  EXPECT_EQ(InferenceService::create(fx.env, {}, narrow).status().code(),
+            StatusCode::kInvalidArgument);
+
+  const ServiceConfig bad_config = ServiceConfig().with_max_batch_size(0);
+  EXPECT_EQ(InferenceService::create(fx.env, {}, fx.history.day(0), bad_config)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ServeSubmit, MatchesResearchEvaluatorBitwise) {
+  ServeFixture fx;
+  const Calibration& day = fx.history.day(0);
+  StatusOr<InferenceService> service =
+      InferenceService::create(fx.env, {}, day);
+  ASSERT_TRUE(service.ok()) << service.status().to_string();
+  EXPECT_EQ(service->active_epoch(), 1u);
+
+  const Dataset probe = fx.env.train.take(12);
+  const NoisyEvalResult expected = noisy_evaluate(
+      fx.env.model, fx.env.transpiled, fx.env.theta_pretrained, probe, day,
+      fx.env.eval);
+  const std::shared_ptr<const NoisyExecutor> reference = build_noisy_executor(
+      fx.env.model, fx.env.transpiled, fx.env.theta_pretrained, day,
+      fx.env.eval.noise);
+
+  for (std::size_t i = 0; i < probe.size(); ++i) {
+    const StatusOr<Prediction> prediction =
+        service->submit(probe.features[i]);
+    ASSERT_TRUE(prediction.ok()) << prediction.status().to_string();
+    EXPECT_EQ(prediction->label, expected.predictions[i]) << "sample " << i;
+    EXPECT_EQ(prediction->epoch, 1u);
+    const std::vector<double> z = reference->run_z(probe.features[i]);
+    ASSERT_EQ(prediction->logits.size(), z.size());
+    for (std::size_t k = 0; k < z.size(); ++k) {
+      EXPECT_EQ(prediction->logits[k], z[k])
+          << "sample " << i << " logit " << k << " must be bitwise identical";
+    }
+  }
+
+  // Batch submission: one sweep, same bits.
+  const StatusOr<std::vector<Prediction>> batch =
+      service->submit_batch(probe.features);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), probe.size());
+  for (std::size_t i = 0; i < probe.size(); ++i) {
+    EXPECT_EQ((*batch)[i].label, expected.predictions[i]);
+    EXPECT_EQ((*batch)[i].logits, reference->run_z(probe.features[i]));
+  }
+}
+
+TEST(ServeSubmit, ValidatesRequests) {
+  ServeFixture fx;
+  StatusOr<InferenceService> service =
+      InferenceService::create(fx.env, {}, fx.history.day(0));
+  ASSERT_TRUE(service.ok());
+  EXPECT_EQ(service->submit({0.5}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(service->submit_batch({}).status().code(),
+            StatusCode::kInvalidArgument);
+  const std::vector<std::vector<double>> mixed{fx.env.train.features[0], {0.5}};
+  EXPECT_EQ(service->submit_batch(mixed).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ServeCalibration, ReuseAndCompressionDecisionsSwapEpochs) {
+  ServeFixture fx;
+  StatusOr<InferenceService> service = InferenceService::create(
+      fx.env, fx.reuse_only_repository(2), fx.history.day(0));
+  ASSERT_TRUE(service.ok());
+
+  // Matching day: reuse, hot-swap to the stored entry.
+  const StatusOr<CalibrationReport> reuse =
+      service->on_calibration(fx.history.day(10));
+  ASSERT_TRUE(reuse.ok()) << reuse.status().to_string();
+  EXPECT_EQ(reuse->decision.action, OnlineManager::Decision::Action::Reuse);
+  EXPECT_TRUE(reuse->swapped);
+  EXPECT_TRUE(reuse->failure.ok());
+  EXPECT_EQ(reuse->epoch, 2u);
+  EXPECT_EQ(service->active_epoch(), 2u);
+  EXPECT_EQ(service->active_theta(),
+            service->manager().repository().entry(reuse->decision.entry_index)
+                .theta);
+
+  const ServingStats stats = service->stats();
+  EXPECT_EQ(stats.reuses, 1u);
+  EXPECT_EQ(stats.swaps, 2u);  // initial epoch + the reuse swap
+  EXPECT_EQ(stats.compressions, 0u);
+}
+
+TEST(ServeCalibration, BootstrapCompressionAddsEntryAndSwaps) {
+  ServeFixture fx;
+  StatusOr<InferenceService> service =
+      InferenceService::create(fx.env, {}, fx.history.day(0));
+  ASSERT_TRUE(service.ok());
+
+  const StatusOr<CalibrationReport> report =
+      service->on_calibration(fx.history.day(5));
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  EXPECT_EQ(report->decision.action,
+            OnlineManager::Decision::Action::NewModel);
+  EXPECT_TRUE(report->swapped);
+  EXPECT_EQ(service->manager().repository().size(), 1u);
+  EXPECT_EQ(service->stats().compressions, 1u);
+  EXPECT_EQ(service->active_theta(),
+            service->manager().repository().entry(0).theta);
+}
+
+TEST(ServeCalibration, FailurePolicyGovernsGuidance2Days) {
+  ServeFixture fx;
+  ModelRepository weak_repo;
+  weak_repo.set_weights(std::vector<double>(
+      fx.history.day(0).feature_vector().size(), 1.0));
+  RepoEntry weak;
+  weak.centroid = fx.history.day(10).feature_vector();
+  weak.theta = fx.env.theta_pretrained;
+  weak.theta[0] += 0.7;
+  weak.valid = false;
+  weak_repo.add(weak);
+  weak_repo.set_threshold(1e9);
+
+  // Default policy: keep serving the trusted epoch, report the failure.
+  StatusOr<InferenceService> keep =
+      InferenceService::create(fx.env, weak_repo, fx.history.day(0));
+  ASSERT_TRUE(keep.ok());
+  const StatusOr<CalibrationReport> kept =
+      keep->on_calibration(fx.history.day(11));
+  ASSERT_TRUE(kept.ok());
+  EXPECT_EQ(kept->decision.action, OnlineManager::Decision::Action::Failure);
+  EXPECT_FALSE(kept->swapped);
+  EXPECT_EQ(kept->failure.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(keep->active_epoch(), 1u);
+  EXPECT_EQ(keep->active_theta(), fx.env.theta_pretrained);
+  EXPECT_EQ(keep->stats().failures, 1u);
+
+  // Opt-in Table-I accounting: serve the matched-but-invalid model anyway.
+  const ServiceConfig serve_matched =
+      ServiceConfig::from_environment(fx.env).with_failure_policy(
+          ServiceConfig::FailurePolicy::kServeMatched);
+  StatusOr<InferenceService> matched = InferenceService::create(
+      fx.env, weak_repo, fx.history.day(0), serve_matched);
+  ASSERT_TRUE(matched.ok());
+  const StatusOr<CalibrationReport> swapped =
+      matched->on_calibration(fx.history.day(11));
+  ASSERT_TRUE(swapped.ok());
+  EXPECT_TRUE(swapped->swapped);
+  EXPECT_EQ(swapped->failure.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(matched->active_theta(), weak.theta);
+}
+
+// The acceptance test: 8 client threads hammer submit() while the main
+// thread hot-swaps epochs via on_calibration. Every prediction must be
+// bitwise-identical to a sequential single-epoch evaluation of the epoch it
+// names — a batch never straddles a swap, and a swap never perturbs an
+// in-flight batch.
+TEST(ServeHotSwap, ConcurrentSubmitsSeeConsistentEpochs) {
+  ServeFixture fx;
+  constexpr int kThreads = 8;
+  constexpr int kRequestsPerThread = 24;
+  constexpr int kSwaps = 12;
+
+  StatusOr<InferenceService> service = InferenceService::create(
+      fx.env, fx.reuse_only_repository(3), fx.history.day(0));
+  ASSERT_TRUE(service.ok());
+
+  // Epoch 1 is the pretrained model under day 0.
+  std::map<std::uint64_t, std::pair<std::vector<double>, Calibration>> epochs;
+  epochs.emplace(1u, std::make_pair(fx.env.theta_pretrained, fx.history.day(0)));
+
+  struct Served {
+    std::vector<double> features;
+    Prediction prediction;
+  };
+  std::vector<std::vector<Served>> served(kThreads);
+
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int r = 0; r < kRequestsPerThread; ++r) {
+        // Distinct feature vectors per (thread, request).
+        std::vector<double> x =
+            fx.env.train.features[static_cast<std::size_t>(
+                (t * kRequestsPerThread + r) % fx.env.train.size())];
+        x[0] += 1e-3 * t + 1e-5 * r;
+        StatusOr<Prediction> prediction = service->submit(x);
+        ASSERT_TRUE(prediction.ok()) << prediction.status().to_string();
+        served[static_cast<std::size_t>(t)].push_back(
+            Served{std::move(x), std::move(prediction).value()});
+      }
+    });
+  }
+
+  // Hot-swap epochs while the clients are in flight.
+  for (int s = 0; s < kSwaps; ++s) {
+    const Calibration& day = fx.history.day(10 + 20 * (s % 3));
+    const StatusOr<CalibrationReport> report = service->on_calibration(day);
+    ASSERT_TRUE(report.ok()) << report.status().to_string();
+    ASSERT_TRUE(report->swapped);
+    epochs.emplace(report->epoch,
+                   std::make_pair(service->active_theta(), day));
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  for (std::thread& client : clients) client.join();
+
+  // Sequential single-epoch replay: every prediction's logits must match
+  // the compiled program of the epoch it claims, bit for bit.
+  std::size_t total = 0;
+  for (const std::vector<Served>& per_thread : served) {
+    for (const Served& request : per_thread) {
+      const auto it = epochs.find(request.prediction.epoch);
+      ASSERT_NE(it, epochs.end())
+          << "prediction names unknown epoch " << request.prediction.epoch;
+      const std::shared_ptr<const NoisyExecutor> executor =
+          CompiledEvalCache::global().get_or_build(
+              fx.env.model, fx.env.transpiled, it->second.first,
+              it->second.second, fx.env.eval.noise);
+      const std::vector<double> z = executor->run_z(request.features);
+      ASSERT_EQ(request.prediction.logits, z)
+          << "epoch " << request.prediction.epoch
+          << ": serving result diverged from sequential evaluation";
+      ++total;
+    }
+  }
+  EXPECT_EQ(total,
+            static_cast<std::size_t>(kThreads) * kRequestsPerThread);
+  const ServingStats stats = service->stats();
+  EXPECT_EQ(stats.requests, total);
+  EXPECT_GE(stats.swaps, static_cast<std::uint64_t>(kSwaps));
+}
+
+TEST(ServeBatching, ConcurrentSubmittersShareSweeps) {
+  ServeFixture fx;
+  constexpr int kThreads = 8;
+  // A wide coalescing window so simultaneously-released submitters land in
+  // one sweep even under unlucky scheduling.
+  const ServiceConfig config = ServiceConfig::from_environment(fx.env)
+                                   .with_batch_window(std::chrono::milliseconds(50));
+  StatusOr<InferenceService> service =
+      InferenceService::create(fx.env, {}, fx.history.day(0), config);
+  ASSERT_TRUE(service.ok());
+
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      const StatusOr<Prediction> prediction =
+          service->submit(fx.env.train.features[static_cast<std::size_t>(t)]);
+      ASSERT_TRUE(prediction.ok());
+    });
+  }
+  for (std::thread& client : clients) client.join();
+
+  const ServingStats stats = service->stats();
+  EXPECT_EQ(stats.requests, static_cast<std::uint64_t>(kThreads));
+  EXPECT_LT(stats.batches, static_cast<std::uint64_t>(kThreads))
+      << "concurrent submitters should coalesce into shared sweeps";
+  EXPECT_GT(stats.coalesced, 0u);
+}
+
+TEST(ServeCacheStress, GlobalCacheIsConsistentUnderContention) {
+  ServeFixture fx;
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 40;
+  const Calibration& day = fx.history.day(0);
+
+  // Four distinct configurations (distinct thetas) and their ground truth.
+  std::vector<std::vector<double>> thetas;
+  std::vector<std::vector<double>> expected;
+  const std::vector<double>& x = fx.env.train.features[0];
+  for (int v = 0; v < 4; ++v) {
+    std::vector<double> theta = fx.env.theta_pretrained;
+    theta[static_cast<std::size_t>(v)] += 0.2 * v;
+    const std::shared_ptr<const NoisyExecutor> executor = build_noisy_executor(
+        fx.env.model, fx.env.transpiled, theta, day, fx.env.eval.noise);
+    expected.push_back(executor->run_z(x));
+    thetas.push_back(std::move(theta));
+  }
+
+  // Shrink the cache so eviction churns while threads race get_or_build.
+  CompiledEvalCache::global().set_capacity(2);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIterations; ++i) {
+        const std::size_t v = static_cast<std::size_t>((t + i) % 4);
+        const std::shared_ptr<const NoisyExecutor> executor =
+            CompiledEvalCache::global().get_or_build(
+                fx.env.model, fx.env.transpiled, thetas[v], day,
+                fx.env.eval.noise);
+        const std::vector<double> z = executor->run_z(x);
+        ASSERT_EQ(z, expected[v]) << "thread " << t << " iteration " << i;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  CompiledEvalCache::global().set_capacity(64);
+
+  const EvalCacheStats stats = CompiledEvalCache::global().stats();
+  EXPECT_LE(stats.entries, stats.capacity);
+}
+
+// The serving surface and the research harness must tell the same story:
+// a service with kServeMatched policy replays the exact decisions and
+// predictions of the QuCAD-without-offline strategy over the same window.
+TEST(ServeLongitudinal, MatchesStrategyHarnessBitwise) {
+  ServeFixture fx;
+  const Dataset test = fx.env.train.take(24);
+  const std::vector<Calibration> window = fx.history.slice(0, 5);
+
+  QuCadWithoutOfflineStrategy strategy(fx.env);
+  MethodResult from_strategy;
+  {
+    Environment harness_env = fx.env;
+    harness_env.test = test;
+    from_strategy = run_longitudinal(strategy, harness_env, {}, window);
+  }
+
+  const ServiceConfig config =
+      ServiceConfig::from_environment(fx.env).with_failure_policy(
+          ServiceConfig::FailurePolicy::kServeMatched);
+  StatusOr<InferenceService> service =
+      InferenceService::create(fx.env, {}, fx.history.day(0), config);
+  ASSERT_TRUE(service.ok());
+  const MethodResult from_service =
+      run_longitudinal(*service, test, window);
+
+  ASSERT_EQ(from_service.daily_accuracy.size(),
+            from_strategy.daily_accuracy.size());
+  for (std::size_t d = 0; d < from_service.daily_accuracy.size(); ++d) {
+    EXPECT_DOUBLE_EQ(from_service.daily_accuracy[d],
+                     from_strategy.daily_accuracy[d])
+        << "day " << d;
+  }
+  EXPECT_EQ(from_service.optimizations, from_strategy.optimizations);
+}
+
+}  // namespace
+}  // namespace qucad
