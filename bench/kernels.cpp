@@ -3,6 +3,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
 #include "noise/calibration_history.hpp"
 #include "qnn/ansatz.hpp"
 #include "qnn/encoding.hpp"
@@ -14,6 +15,8 @@
 namespace {
 
 using namespace qucad;
+using bench::bench_theta;
+using bench::make_workload;
 
 Circuit make_benchmark_circuit(int qubits, int blocks) {
   Circuit c = angle_encoder(qubits, qubits);
@@ -21,17 +24,10 @@ Circuit make_benchmark_circuit(int qubits, int blocks) {
   return c;
 }
 
-std::vector<double> make_theta(int n) {
-  Rng rng(1);
-  std::vector<double> theta(static_cast<std::size_t>(n));
-  for (double& t : theta) t = rng.uniform(-3.0, 3.0);
-  return theta;
-}
-
 void BM_StateVectorForward(benchmark::State& state) {
   const int qubits = static_cast<int>(state.range(0));
   const Circuit c = make_benchmark_circuit(qubits, 2);
-  const auto theta = make_theta(c.num_trainable());
+  const auto theta = bench_theta(c.num_trainable());
   const std::vector<double> x(static_cast<std::size_t>(qubits), 0.7);
   for (auto _ : state) {
     StateVector sv(qubits);
@@ -44,7 +40,7 @@ BENCHMARK(BM_StateVectorForward)->Arg(4)->Arg(5)->Arg(7);
 void BM_AdjointGradient(benchmark::State& state) {
   const int qubits = static_cast<int>(state.range(0));
   const Circuit c = make_benchmark_circuit(qubits, 2);
-  const auto theta = make_theta(c.num_trainable());
+  const auto theta = bench_theta(c.num_trainable());
   const std::vector<double> x(static_cast<std::size_t>(qubits), 0.7);
   std::vector<double> weights(static_cast<std::size_t>(qubits), 0.0);
   weights[0] = 1.0;
@@ -57,7 +53,7 @@ BENCHMARK(BM_AdjointGradient)->Arg(4)->Arg(5);
 
 void BM_ParameterShiftGradient(benchmark::State& state) {
   const Circuit c = make_benchmark_circuit(4, 1);
-  const auto theta = make_theta(c.num_trainable());
+  const auto theta = bench_theta(c.num_trainable());
   const std::vector<double> x(4, 0.7);
   const std::vector<double> weights{1.0, 0.0, 0.0, 0.0};
   for (auto _ : state) {
@@ -68,14 +64,13 @@ void BM_ParameterShiftGradient(benchmark::State& state) {
 BENCHMARK(BM_ParameterShiftGradient);
 
 void BM_NoisyDensityMatrixRun(benchmark::State& state) {
-  const CalibrationHistory history(FluctuationScenario::belem(), 10, 2021);
-  const Calibration& calib = history.day(0);
-  const QnnModel model = build_paper_model(4, 4, 2, 2);
-  const auto theta = make_theta(model.num_params());
-  const TranspiledModel transpiled = transpile_model(
-      model.circuit, model.readout_qubits, CouplingMap::belem(), &calib);
-  const PhysicalCircuit phys = lower_model(transpiled, theta);
-  const NoiseModel nm(calib);
+  // Shared bench workload (model + routing + theta + calibration) instead
+  // of a per-benchmark lowering block; the executor here is deliberately
+  // built directly because the kernel under test is the raw compiled
+  // density replay, not the backend dispatch around it.
+  const bench::BenchWorkload w = make_workload(4, 2, 2, /*theta_seed=*/1);
+  const PhysicalCircuit phys = lower_model(w.transpiled, w.theta);
+  const NoiseModel nm(w.calib());
   const NoisyExecutor executor(phys, nm);
   const std::vector<double> x(4, 0.7);
   for (auto _ : state) {
@@ -86,26 +81,20 @@ void BM_NoisyDensityMatrixRun(benchmark::State& state) {
 BENCHMARK(BM_NoisyDensityMatrixRun);
 
 void BM_TranspileModel(benchmark::State& state) {
-  const CalibrationHistory history(FluctuationScenario::belem(), 10, 2021);
-  const Calibration& calib = history.day(0);
-  const QnnModel model = build_paper_model(4, 4, 2, 2);
+  const bench::BenchWorkload w = make_workload(4, 2, 2, /*theta_seed=*/1);
   for (auto _ : state) {
-    const TranspiledModel transpiled = transpile_model(
-        model.circuit, model.readout_qubits, CouplingMap::belem(), &calib);
+    const TranspiledModel transpiled =
+        transpile_model(w.model.circuit, w.model.readout_qubits,
+                        CouplingMap::belem(), &w.calib());
     benchmark::DoNotOptimize(transpiled.routed.swap_count);
   }
 }
 BENCHMARK(BM_TranspileModel);
 
 void BM_LowerToBasis(benchmark::State& state) {
-  const CalibrationHistory history(FluctuationScenario::belem(), 10, 2021);
-  const QnnModel model = build_paper_model(4, 4, 2, 2);
-  const auto theta = make_theta(model.num_params());
-  const TranspiledModel transpiled =
-      transpile_model(model.circuit, model.readout_qubits, CouplingMap::belem(),
-                      &history.day(0));
+  const bench::BenchWorkload w = make_workload(4, 2, 2, /*theta_seed=*/1);
   for (auto _ : state) {
-    const PhysicalCircuit phys = lower_model(transpiled, theta);
+    const PhysicalCircuit phys = lower_model(w.transpiled, w.theta);
     benchmark::DoNotOptimize(phys.cx_count());
   }
 }

@@ -40,11 +40,12 @@ int main() {
   int round = 0;
   for (int day : {250, 270, 313, 347, 370}) {
     const Calibration& calib = history.day(day);
-    const PhysicalCircuit phys =
-        lower_model(env.transpiled, env.theta_pretrained);
-    const NoiseModel nm(calib);
-    const NoisyExecutor executor(phys, nm);
-    const ReadoutMitigator mitigator(nm.readout());
+    // Shared lowering + compilation helper (the per-binary lower_model /
+    // NoiseModel / NoisyExecutor block this bench used to carry).
+    const std::shared_ptr<const NoisyExecutor> executor =
+        make_env_executor(env, env.theta_pretrained, calib);
+    const PhysicalCircuit& phys = executor->circuit();
+    const ReadoutMitigator mitigator(executor->noise().readout());
 
     double comp_raw = 0.0, comp_mit = 0.0, bias_raw = 0.0, bias_zne = 0.0;
     for (std::size_t s = 0; s < probes; ++s) {
@@ -55,9 +56,9 @@ int main() {
 
       // Measured distribution (readout confusion on all qubits) and its
       // mitigated inversion.
-      const DensityMatrix dm = executor.run_density(x);
-      const auto measured =
-          apply_readout_error(dm.diagonal_probabilities(), nm.readout());
+      const DensityMatrix dm = executor->run_density(x);
+      const auto measured = apply_readout_error(dm.diagonal_probabilities(),
+                                                executor->noise().readout());
       const auto mitigated = mitigator.apply(measured);
       comp_raw += computational_accuracy(ideal_probs, measured);
       comp_mit += computational_accuracy(ideal_probs, mitigated);
@@ -65,7 +66,7 @@ int main() {
       // Expectation bias with and without ZNE.
       // run_z / zne_expectations order their output by readout slot, so
       // index by class position k, not by logical qubit id.
-      const auto z_raw = executor.run_z(x);
+      const auto z_raw = executor->run_z(x);
       const auto z_zne = zne_expectations(phys, calib, x);
       for (std::size_t k = 0; k < env.model.readout_qubits.size(); ++k) {
         const int lq = env.model.readout_qubits[k];

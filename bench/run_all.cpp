@@ -19,6 +19,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "common/require.hpp"
 #include "common/rng.hpp"
 #include "data/mnist_synth.hpp"
@@ -103,19 +104,12 @@ Record time_loop(const std::string& name, const std::string& params,
   return r;
 }
 
-std::vector<double> make_theta(int n, std::uint64_t seed = 1) {
-  Rng rng(seed);
-  std::vector<double> theta(static_cast<std::size_t>(n));
-  for (double& t : theta) t = rng.uniform(-3.0, 3.0);
-  return theta;
-}
-
 std::vector<Record> kernel_benches() {
   std::vector<Record> records;
   for (int qubits : {4, 6, 8}) {
     Circuit c = angle_encoder(qubits, qubits);
     c.append(build_paper_ansatz(qubits, 2));
-    const auto theta = make_theta(c.num_trainable());
+    const auto theta = bench_theta(c.num_trainable());
     const std::vector<double> x(static_cast<std::size_t>(qubits), 0.7);
     records.push_back(time_loop(
         "statevector_forward", "qubits=" + std::to_string(qubits), 1.0,
@@ -129,7 +123,7 @@ std::vector<Record> kernel_benches() {
   for (int qubits : {4, 6}) {
     Circuit c = angle_encoder(qubits, qubits);
     c.append(build_paper_ansatz(qubits, 2));
-    const auto theta = make_theta(c.num_trainable());
+    const auto theta = bench_theta(c.num_trainable());
     const std::vector<double> x(static_cast<std::size_t>(qubits), 0.7);
     std::vector<double> weights(static_cast<std::size_t>(qubits), 0.0);
     weights[0] = 1.0;
@@ -158,18 +152,13 @@ std::vector<Record> kernel_benches() {
 
 std::vector<Record> noisy_eval_benches() {
   std::vector<Record> records;
-  const CalibrationHistory history(FluctuationScenario::belem(), 10, 2021);
-  const Calibration& calib = history.day(0);
-  const QnnModel model = build_paper_model(4, 4, 2, 2);
-  const auto theta = make_theta(model.num_params(), 7);
-  const TranspiledModel transpiled = transpile_model(
-      model.circuit, model.readout_qubits, CouplingMap::belem(), &calib);
+  const BenchWorkload w = make_workload();
   const Dataset data = make_mnist4(64, 24);
   records.push_back(time_loop(
       "noisy_evaluate", "qubits=4,samples=" + std::to_string(data.size()),
       static_cast<double>(data.size()), "samples/sec", [&] {
         const auto result =
-            noisy_evaluate(model, transpiled, theta, data, calib);
+            noisy_evaluate(w.model, w.transpiled, w.theta, data, w.calib());
         volatile double sink = result.accuracy;
         (void)sink;
       }));
@@ -184,16 +173,11 @@ std::vector<Record> noisy_eval_benches() {
 /// regression gate checks against the checked-in baseline.
 std::vector<Record> compiled_eval_benches() {
   std::vector<Record> records;
-  const CalibrationHistory history(FluctuationScenario::belem(), 10, 2021);
-  const Calibration& calib = history.day(0);
-  const QnnModel model = build_paper_model(4, 4, 2, 2);
-  const auto theta = make_theta(model.num_params(), 7);
-  const TranspiledModel transpiled = transpile_model(
-      model.circuit, model.readout_qubits, CouplingMap::belem(), &calib);
+  const BenchWorkload w = make_workload();
   const Dataset data = make_mnist4(64, 24);
 
   const std::shared_ptr<const NoisyExecutor> executor =
-      build_noisy_executor(model, transpiled, theta, calib, {});
+      build_noisy_executor(w.model, w.transpiled, w.theta, w.calib(), {});
   const std::string params = "qubits=4,device=belem";
 
   std::size_t cursor = 0;
@@ -231,14 +215,14 @@ std::vector<Record> compiled_eval_benches() {
   // the hit-rate record is self-contained (independent of other bench
   // groups' cache traffic and of how many iterations the timer takes):
   // every timed call must hit.
-  noisy_evaluate(model, transpiled, theta, data, calib);
+  noisy_evaluate(w.model, w.transpiled, w.theta, data, w.calib());
   const EvalCacheStats before = CompiledEvalCache::global().stats();
   records.push_back(time_loop(
       "noisy_evaluate_cached",
       params + ",samples=" + std::to_string(data.size()),
       static_cast<double>(data.size()), "samples/sec", [&] {
         const auto result =
-            noisy_evaluate(model, transpiled, theta, data, calib);
+            noisy_evaluate(w.model, w.transpiled, w.theta, data, w.calib());
         volatile double sink = result.accuracy;
         (void)sink;
       }));
@@ -273,7 +257,7 @@ std::vector<Record> compiled_eval_benches() {
 std::vector<Record> train_benches() {
   std::vector<Record> records;
   const QnnModel model = build_paper_model(4, 4, 4, 2);
-  const auto theta = make_theta(model.num_params(), 3);
+  const auto theta = bench_theta(model.num_params(), 3);
   const Dataset data = make_mnist4(32, 24);
   std::vector<std::size_t> idx(data.size());
   for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
@@ -399,14 +383,13 @@ HammerResult hammer_submit(qucad::InferenceService& service,
 /// it) — see docs/BENCHMARKS.md.
 std::vector<Record> serving_benches() {
   std::vector<Record> records;
-  const CalibrationHistory history(FluctuationScenario::belem(), 10, 2021);
-  const Calibration& calib = history.day(0);
+  BenchWorkload w = make_workload();
+  const Calibration& calib = w.calib();
   Environment env;
-  env.model = build_paper_model(4, 4, 2, 2);
-  env.theta_pretrained = make_theta(env.model.num_params(), 7);
+  env.model = w.model;
+  env.theta_pretrained = w.theta;
   env.train = make_mnist4(64, 24);
-  env.transpiled = transpile_model(env.model.circuit, env.model.readout_qubits,
-                                   CouplingMap::belem(), &calib);
+  env.transpiled = w.transpiled;
 
   StatusOr<InferenceService> service =
       InferenceService::create(env, {}, calib);
@@ -494,6 +477,100 @@ std::vector<Record> serving_benches() {
   return records;
 }
 
+/// The execution-backend record group: per-backend classification
+/// throughput through the uniform ExecutionBackend interface at batch
+/// 1/32/256 on a 6-qubit jakarta-routed model, a shots sweep of the sampled
+/// backend, and the headline ratio record "sampled_vs_density_speedup" —
+/// how much cheaper hardware-like finite-shot logits are when sampled from
+/// the compiled statevector instead of evolved through the exact density
+/// matrix. The ratio is dimensionless (both sides measured in the same run)
+/// and gated >= 5x at 6 qubits in CI: the sampled backend's whole point is
+/// that density cost grows as 4^n while statevector sampling grows as 2^n.
+std::vector<Record> backend_benches() {
+  std::vector<Record> records;
+  const BenchWorkload w = make_workload(/*qubits=*/6);
+
+  // Random encoding angles; the feature pool is larger than the largest
+  // batch so sweeps do not reuse one hot sample.
+  Rng rng(123);
+  std::vector<std::vector<double>> features(
+      256, std::vector<double>(static_cast<std::size_t>(w.model.num_inputs())));
+  for (auto& x : features) {
+    for (double& v : x) v = rng.uniform(0.0, 3.14159265358979323846);
+  }
+
+  const int sampled_shots = 1024;
+  struct KindSpec {
+    const char* label;
+    BackendConfig config;
+  };
+  const KindSpec specs[] = {
+      {"density_noisy", BackendConfig{}},
+      {"pure_statevector",
+       BackendConfig().with_kind(BackendKind::kPureStatevector)},
+      {"sampled_statevector", BackendConfig()
+                                  .with_kind(BackendKind::kSampled)
+                                  .with_shots(sampled_shots)},
+  };
+
+  double density_batch32 = 0.0;
+  double sampled_batch32 = 0.0;
+  for (const KindSpec& spec : specs) {
+    const std::shared_ptr<const ExecutionBackend> backend =
+        make_workload_backend(w, spec.config);
+    for (const std::size_t batch : {std::size_t{1}, std::size_t{32},
+                                    std::size_t{256}}) {
+      const std::span<const std::vector<double>> sub(features.data(), batch);
+      const Record record = time_loop(
+          "backend_logits",
+          std::string("backend=") + spec.label +
+              ",qubits=6,batch=" + std::to_string(batch),
+          static_cast<double>(batch), "samples/sec", [&] {
+            const auto zs = backend->run_logits_batch(sub);
+            volatile double sink = zs[0][0];
+            (void)sink;
+          });
+      if (batch == 32) {
+        if (spec.config.kind == BackendKind::kDensityNoisy) {
+          density_batch32 = record.throughput;
+        }
+        if (spec.config.kind == BackendKind::kSampled) {
+          sampled_batch32 = record.throughput;
+        }
+      }
+      records.push_back(record);
+    }
+  }
+
+  // Shot-budget sweep of the sampled backend: how per-sample cost scales
+  // from "one replay dominates" to "sampling dominates".
+  for (const int shots : {128, 1024, 8192}) {
+    const std::shared_ptr<const ExecutionBackend> backend =
+        make_workload_backend(w, BackendConfig()
+                                     .with_kind(BackendKind::kSampled)
+                                     .with_shots(shots));
+    const std::span<const std::vector<double>> sub(features.data(), 32);
+    records.push_back(time_loop(
+        "sampled_shots", "qubits=6,batch=32,shots=" + std::to_string(shots),
+        32.0, "samples/sec", [&] {
+          const auto zs = backend->run_logits_batch(sub);
+          volatile double sink = zs[0][0];
+          (void)sink;
+        }));
+  }
+
+  Record speedup;
+  speedup.name = "sampled_vs_density_speedup";
+  speedup.params =
+      "qubits=6,batch=32,shots=" + std::to_string(sampled_shots);
+  speedup.iters = 1;
+  speedup.seconds = 0.0;
+  speedup.throughput = sampled_batch32 / density_batch32;
+  speedup.unit = "x (sampled / density)";
+  records.push_back(speedup);
+  return records;
+}
+
 }  // namespace
 }  // namespace qucad::bench
 
@@ -512,6 +589,7 @@ int main(int argc, char** argv) {
     write_group(dir, "compiled_eval", compiled_eval_benches());
     write_group(dir, "train", train_benches());
     write_group(dir, "serving", serving_benches());
+    write_group(dir, "backends", backend_benches());
   } catch (const std::exception& e) {
     std::cerr << "run_all: " << e.what() << "\n";
     return 1;

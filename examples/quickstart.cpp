@@ -87,6 +87,20 @@ int main() {
             << fmt_pct(noisy_accuracy(model, transpiled, theta, test, noisy_day))
             << "  <- fluctuating noise collapses the model\n";
 
+  //    Every evaluation above picked its execution regime from config: the
+  //    default BackendConfig is the exact density engine, and swapping the
+  //    kind re-runs the same call under a different regime (src/backend/).
+  //    kSampled draws seeded finite-shot bitstrings from the compiled
+  //    statevector with the day's readout confusion — hardware-like
+  //    readout, orders of magnitude cheaper than the density path.
+  NoisyEvalOptions sampled;
+  sampled.backend =
+      BackendConfig().with_kind(BackendKind::kSampled).with_shots(1024);
+  std::cout << "sampled accuracy (1024 shots), quiet day: "
+            << fmt_pct(noisy_accuracy(model, transpiled, theta, test,
+                                      quiet_day, sampled))
+            << "\n";
+
   // ---------------------------------------------------------------------
   // 4. QuCAD's answer (compress/): noise-aware ADMM compression targeted at
   //    the noisy day. Each iteration alternates a proximal retraining step

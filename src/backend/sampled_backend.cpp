@@ -1,0 +1,130 @@
+#include "backend/sampled_backend.hpp"
+
+#include <algorithm>
+#include <complex>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+
+namespace qucad {
+
+namespace {
+
+/// Per-thread replay scratch, recycled across samples and across backends
+/// of the same width so the statevector replay + CDF stay allocation-free
+/// after warmup (the NoisyExecutor::run_z_batch pattern).
+struct SampleScratch {
+  std::unique_ptr<StateVector> sv;
+  std::vector<double> cdf;
+};
+
+SampleScratch& thread_scratch(int qubits) {
+  thread_local SampleScratch scratch;
+  if (!scratch.sv || scratch.sv->num_qubits() != qubits) {
+    scratch.sv = std::make_unique<StateVector>(qubits);
+  }
+  return scratch;
+}
+
+}  // namespace
+
+SampledStatevectorBackend::SampledStatevectorBackend(
+    std::shared_ptr<const PureExecutor> executor, std::vector<double> theta,
+    std::vector<ReadoutError> slot_readout, int shots, std::uint64_t seed,
+    bool deterministic)
+    : executor_(std::move(executor)),
+      theta_(std::move(theta)),
+      slot_readout_(std::move(slot_readout)),
+      shots_(shots),
+      seed_(seed),
+      capabilities_(backend_kind_capabilities(BackendKind::kSampled)) {
+  require(executor_ != nullptr, "sampled backend needs a compiled executor");
+  require(shots_ > 0, "sampled backend needs shots > 0");
+  const std::size_t slots = executor_->circuit().readout_physical().size();
+  require(slot_readout_.empty() || slot_readout_.size() == slots,
+          "slot readout errors must match the readout slot count");
+  capabilities_.readout_error = !slot_readout_.empty();
+  // An entropy-drawn seed still reproduces within this instance's lifetime,
+  // but not across builds — which is what the flag is for consumers.
+  capabilities_.deterministic = deterministic;
+}
+
+const BackendCapabilities& SampledStatevectorBackend::capabilities() const {
+  return capabilities_;
+}
+
+BackendDiagnostics SampledStatevectorBackend::diagnostics() const {
+  BackendDiagnostics d;
+  d.name = backend_kind_name(BackendKind::kSampled);
+  d.kind = BackendKind::kSampled;
+  d.num_qubits = executor_->circuit().num_qubits();
+  d.shots = shots_;
+  d.source_ops = executor_->program().stats().source_ops;
+  d.compiled_ops = executor_->program().stats().compiled_ops;
+  return d;
+}
+
+std::vector<double> SampledStatevectorBackend::sample_into(
+    std::span<const double> x, std::uint64_t sample_seed, StateVector& sv,
+    std::vector<double>& cdf) const {
+  executor_->run_state(sv, x, theta_);
+  const std::vector<cplx>& amps = sv.amplitudes();
+
+  // Cumulative distribution over basis states, built in place. The final
+  // entry (~1.0 up to rounding) is used as the draw range so a slightly
+  // off-norm state never biases the tail bucket.
+  cdf.resize(amps.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < amps.size(); ++i) {
+    acc += std::norm(amps[i]);
+    cdf[i] = acc;
+  }
+
+  const std::vector<int>& slots = executor_->circuit().readout_physical();
+  std::vector<double> z(slots.size(), 0.0);
+  Rng rng(sample_seed);
+  for (int s = 0; s < shots_; ++s) {
+    const double u = rng.uniform(0.0, acc);
+    auto it = std::upper_bound(cdf.begin(), cdf.end(), u);
+    // uniform_real_distribution may return exactly `acc` under rounding;
+    // clamp so the draw lands on the last basis state, not past the end.
+    if (it == cdf.end()) it = std::prev(cdf.end());
+    const std::size_t bits =
+        static_cast<std::size_t>(std::distance(cdf.begin(), it));
+    for (std::size_t k = 0; k < slots.size(); ++k) {
+      bool one = (bits >> slots[k]) & 1;
+      if (!slot_readout_.empty()) {
+        // Classical confusion, applied per measured qubit: a true 0 reads
+        // as 1 with p(1|0), a true 1 reads as 0 with p(0|1). Equivalent in
+        // distribution to confusing the full probability vector.
+        const ReadoutError& err = slot_readout_[k];
+        const double flip_p = one ? err.p0_given_1 : err.p1_given_0;
+        if (flip_p > 0.0 && rng.bernoulli(flip_p)) one = !one;
+      }
+      z[k] += one ? -1.0 : 1.0;
+    }
+  }
+  const double inv_shots = 1.0 / static_cast<double>(shots_);
+  for (double& v : z) v *= inv_shots;
+  return z;
+}
+
+std::vector<double> SampledStatevectorBackend::run_logits(
+    std::span<const double> x) const {
+  SampleScratch& scratch = thread_scratch(executor_->circuit().num_qubits());
+  return sample_into(x, seed_, *scratch.sv, scratch.cdf);
+}
+
+std::vector<std::vector<double>> SampledStatevectorBackend::run_logits_batch(
+    std::span<const std::vector<double>> xs, ThreadPool* pool) const {
+  std::vector<std::vector<double>> zs(xs.size());
+  ThreadPool& workers = pool ? *pool : ThreadPool::global();
+  workers.parallel_for(xs.size(), [&](std::size_t i) {
+    SampleScratch& scratch = thread_scratch(executor_->circuit().num_qubits());
+    zs[i] = sample_into(xs[i], seed_ + i, *scratch.sv, scratch.cdf);
+  });
+  return zs;
+}
+
+}  // namespace qucad

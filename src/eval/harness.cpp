@@ -18,13 +18,16 @@ MethodResult run_longitudinal(Strategy& strategy, const Environment& env,
   result.method = strategy.name();
   result.daily_accuracy.reserve(online_days.size());
 
+  NoisyEvalOptions eval = env.eval;
+  if (options.backend.has_value()) eval.backend = *options.backend;
+
   for (std::size_t d = 0; d < online_days.size();
        d += static_cast<std::size_t>(options.day_stride)) {
     const Calibration& calib = online_days[d];
     const std::span<const double> theta =
         strategy.online_day(static_cast<int>(d), calib);
     const double acc = noisy_accuracy(env.model, env.transpiled, theta,
-                                      env.test, calib, env.eval);
+                                      env.test, calib, eval);
     result.daily_accuracy.push_back(acc);
     if (options.verbose) {
       std::cout << "  [" << result.method << "] day " << d << ": acc "

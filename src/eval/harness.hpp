@@ -1,7 +1,9 @@
 #pragma once
 
 #include <iosfwd>
+#include <optional>
 
+#include "backend/backend.hpp"
 #include "core/strategy.hpp"
 #include "eval/metrics.hpp"
 
@@ -11,11 +13,19 @@ struct HarnessOptions {
   /// Days between evaluations (1 = every day, matching the paper).
   int day_stride = 1;
   bool verbose = false;
+  /// Execution regime override for the daily evaluation. Unset, the
+  /// environment's own `eval.backend` applies (exact density noise by
+  /// default); set it to replay the same longitudinal comparison under a
+  /// different regime — e.g. kSampled to ask how the paper's conclusions
+  /// shift with hardware-like finite-shot readout, or kPureStatevector for
+  /// the noise-free ceiling.
+  std::optional<BackendConfig> backend;
 };
 
 /// Runs one strategy over the online calibration window: offline() on the
 /// historical days, then for each online day adapt + evaluate on the test
-/// set under that day's exact noise model.
+/// set under that day's exact noise model (or the regime selected by
+/// `options.backend`).
 MethodResult run_longitudinal(Strategy& strategy, const Environment& env,
                               const std::vector<Calibration>& offline_history,
                               const std::vector<Calibration>& online_days,

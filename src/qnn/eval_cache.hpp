@@ -60,6 +60,14 @@ struct EvalCacheStats {
 /// configurations across rounds; caching stops them re-lowering the circuit
 /// (and rebuilding the noise model) on every call.
 ///
+/// The cache also backs every ExecutionBackend uniformly: the registry's
+/// backend factories (backend/registry.hpp) resolve their compiled engine
+/// here — the density backend through get_or_build, the pure AND sampled
+/// backends through get_or_build_pure (the sampled backend is a sampling
+/// layer over the same structure-keyed compiled program) — so building a
+/// backend for an already-seen configuration costs a hash lookup plus a
+/// thin wrapper, never a recompilation.
+///
 /// Keys are value-based content hashes, so any caller presenting the same
 /// configuration shares one compiled executor. Entries are handed out as
 /// shared_ptr, so eviction never invalidates a running evaluation.
@@ -68,8 +76,10 @@ class CompiledEvalCache {
  public:
   explicit CompiledEvalCache(std::size_t capacity = 64);
 
-  /// Process-wide cache used by noisy_evaluate (NoisyEvalOptions::use_cache)
-  /// and the compiled training path (TrainConfig::engine).
+  /// Process-wide cache used by the backend registry's factories
+  /// (BackendContext::use_cache — which covers noisy_evaluate, the
+  /// longitudinal harness and the serving layer) and by the compiled
+  /// training path (TrainConfig::engine).
   static CompiledEvalCache& global();
 
   std::shared_ptr<const NoisyExecutor> get_or_build(

@@ -1,5 +1,6 @@
 #include "qnn/evaluator.hpp"
 
+#include "backend/registry.hpp"
 #include "common/require.hpp"
 #include "common/stats.hpp"
 #include "common/thread_pool.hpp"
@@ -37,16 +38,21 @@ StatusOr<NoisyEvalResult> noisy_evaluate_or(const QnnModel& model,
         " qubits, the routed circuit uses " +
         std::to_string(transpiled.num_physical_qubits()));
   }
+  BackendContext context;
+  context.model = &model;
+  context.transpiled = &transpiled;
+  context.theta = theta;
+  context.calibration = &calib;
+  context.noise = options.noise;
+  context.use_cache = options.use_cache;
+  context.density_shots = options.shots;
+  context.density_shot_seed = options.shot_seed;
+  StatusOr<std::shared_ptr<const ExecutionBackend>> backend =
+      BackendRegistry::global().make(options.backend, context);
+  if (!backend.ok()) return backend.status();
 
-  const std::shared_ptr<const NoisyExecutor> executor =
-      options.use_cache
-          ? CompiledEvalCache::global().get_or_build(model, transpiled, theta,
-                                                     calib, options.noise)
-          : build_noisy_executor(model, transpiled, theta, calib,
-                                 options.noise);
-
-  const std::vector<std::vector<double>> zs = executor->run_z_batch(
-      data.features, options.shots, options.shot_seed, options.pool);
+  const std::vector<std::vector<double>> zs =
+      (*backend)->run_logits_batch(data.features, options.pool);
 
   NoisyEvalResult result;
   result.predictions.assign(data.size(), -1);

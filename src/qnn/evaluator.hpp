@@ -2,6 +2,7 @@
 
 #include <span>
 
+#include "backend/backend.hpp"
 #include "common/status.hpp"
 #include "data/dataset.hpp"
 #include "noise/calibration.hpp"
@@ -15,7 +16,12 @@ class ThreadPool;
 
 struct NoisyEvalOptions {
   NoiseModelOptions noise;
-  int shots = 0;  // 0 = exact density-matrix expectations
+  /// Density-path finite-shot readout (0 = exact expectations). This is the
+  /// legacy knob for shot-sampling the density engine's confusion-adjusted
+  /// probabilities; the statevector-cost alternative is selecting the
+  /// kSampled backend below. Setting it alongside a non-density backend is
+  /// rejected at evaluation time.
+  int shots = 0;
   std::uint64_t shot_seed = 99;
   /// Pool used to spread samples; nullptr = the process-global pool. Lets
   /// callers (and tests) pin the evaluation to a specific worker count.
@@ -26,6 +32,12 @@ struct NoisyEvalOptions {
   /// then skip re-lowering and re-compiling entirely. Disable to force a
   /// fresh build (e.g. when benchmarking compilation itself).
   bool use_cache = true;
+  /// Which execution regime serves the evaluation (backend/backend.hpp).
+  /// Default: the exact density-matrix backend — the historical behavior.
+  /// kPureStatevector evaluates noise-free; kSampled gives hardware-like
+  /// finite-shot logits at statevector cost. Dispatched through
+  /// BackendRegistry::global(), so registered custom regimes work here too.
+  BackendConfig backend;
 };
 
 struct NoisyEvalResult {
@@ -33,10 +45,14 @@ struct NoisyEvalResult {
   std::vector<int> predictions;
 };
 
-/// Exact noisy evaluation of parameters on a dataset: lowers + compiles the
-/// routed model at `theta` once (compression peephole active, calibrated
-/// channels folded in — cached across calls), then classifies every sample
-/// with the compiled density-matrix program. Parallel over samples.
+/// Config-driven evaluation of parameters on a dataset. With the default
+/// options this is the exact noisy evaluation: the routed model is lowered +
+/// compiled at `theta` once (compression peephole active, calibrated
+/// channels folded in — cached across calls) and every sample is classified
+/// with the compiled density-matrix program, parallel over samples. Other
+/// execution regimes are one `options.backend` away (noise-free
+/// statevector, finite-shot sampled readout) — the evaluation itself always
+/// goes through the ExecutionBackend the registry builds for the config.
 ///
 /// Class logits are read positionally: logit k is <Z> of readout slot k,
 /// i.e. model.readout_qubits[k] routed to its physical home — correct for

@@ -8,9 +8,9 @@
 #include <thread>
 #include <utility>
 
+#include "backend/registry.hpp"
 #include "common/require.hpp"
 #include "common/stats.hpp"
-#include "qnn/eval_cache.hpp"
 #include "qnn/evaluator.hpp"
 
 namespace qucad {
@@ -23,7 +23,9 @@ struct Epoch {
   std::uint64_t id = 0;
   std::vector<double> theta;
   Calibration calibration;
-  std::shared_ptr<const NoisyExecutor> executor;
+  /// The compiled execution regime of this epoch (ServiceConfig's
+  /// eval.backend, built through BackendRegistry — density by default).
+  std::shared_ptr<const ExecutionBackend> backend;
 };
 
 struct PendingRequest {
@@ -81,14 +83,24 @@ struct InferenceService::Impl {
     if (dispatcher.joinable()) dispatcher.join();
   }
 
-  std::shared_ptr<const NoisyExecutor> build_executor(
+  std::shared_ptr<const ExecutionBackend> build_backend(
       std::span<const double> theta, const Calibration& calibration) const {
-    if (config.eval.use_cache) {
-      return CompiledEvalCache::global().get_or_build(
-          model, transpiled, theta, calibration, config.eval.noise);
-    }
-    return build_noisy_executor(model, transpiled, theta, calibration,
-                                config.eval.noise);
+    BackendContext context;
+    context.model = &model;
+    context.transpiled = &transpiled;
+    context.theta = theta;
+    context.calibration = &calibration;
+    context.noise = config.eval.noise;
+    context.use_cache = config.eval.use_cache;
+    context.density_shots = config.eval.shots;
+    context.density_shot_seed = config.eval.shot_seed;
+    StatusOr<std::shared_ptr<const ExecutionBackend>> backend =
+        BackendRegistry::global().make(config.eval.backend, context);
+    // Callers (create / on_calibration) wrap epoch installation in a
+    // try/catch that converts to Status — surface registry failures the
+    // same way.
+    require(backend.ok(), backend.status().to_string());
+    return *std::move(backend);
   }
 
   std::shared_ptr<const Epoch> load_epoch() const {
@@ -103,7 +115,7 @@ struct InferenceService::Impl {
     auto epoch = std::make_shared<Epoch>();
     epoch->theta = std::move(theta);
     epoch->calibration = calibration;
-    epoch->executor = build_executor(epoch->theta, calibration);
+    epoch->backend = build_backend(epoch->theta, calibration);
     std::lock_guard<std::mutex> lock(epoch_mutex);
     epoch->id = next_epoch_id++;
     active = std::move(epoch);
@@ -119,17 +131,19 @@ struct InferenceService::Impl {
     return Status();
   }
 
-  /// Runs one compiled sweep over `features` on the given epoch. Exact mode
-  /// (shots == 0) makes the result independent of how requests were grouped.
+  /// Runs one compiled sweep over `features` on the given epoch's backend.
+  /// Expectation backends make the result independent of how requests were
+  /// grouped.
   std::vector<Prediction> run_batch(const Epoch& epoch,
                                     std::span<const std::vector<double>> features) {
-    std::vector<std::vector<double>> zs = epoch.executor->run_z_batch(
-        features, config.eval.shots, config.eval.shot_seed, config.eval.pool);
+    std::vector<std::vector<double>> zs =
+        epoch.backend->run_logits_batch(features, config.eval.pool);
     std::vector<Prediction> predictions(zs.size());
     for (std::size_t i = 0; i < zs.size(); ++i) {
       predictions[i].label = static_cast<int>(argmax(zs[i]));
       predictions[i].logits = std::move(zs[i]);
       predictions[i].epoch = epoch.id;
+      predictions[i].backend = epoch.backend->kind();
     }
     {
       std::lock_guard<std::mutex> lock(stats_mutex);

@@ -6,6 +6,7 @@
 #include <span>
 #include <vector>
 
+#include "backend/backend.hpp"
 #include "common/status.hpp"
 #include "core/strategy.hpp"
 #include "eval/harness.hpp"
@@ -26,6 +27,11 @@ struct Prediction {
   /// micro-batch carries the same epoch, and a hot-swap never changes the
   /// epoch of an in-flight batch.
   std::uint64_t epoch = 0;
+  /// Execution regime that produced the logits (the epoch's configured
+  /// backend): exact density noise, noise-free statevector, or finite-shot
+  /// sampled readout. Lets downstream consumers weigh a prediction by how
+  /// it was computed.
+  BackendKind backend = BackendKind::kDensityNoisy;
 };
 
 /// What a calibration event did to the service.
@@ -63,14 +69,17 @@ struct ServingStats {
 ///    ownership of the model, routing, training data and repository BY
 ///    VALUE: the service cannot dangle, whatever the caller does with the
 ///    setup-scope objects it was built from.
-///  - `submit` / `submit_batch` classify feature vectors on the compiled
-///    density-matrix engine. Concurrent `submit` callers are micro-batched:
+///  - `submit` / `submit_batch` classify feature vectors on the epoch's
+///    compiled ExecutionBackend (the exact density-matrix engine by
+///    default; `ServiceConfig::eval.backend` selects noise-free or
+///    finite-shot sampled serving). Concurrent `submit` callers are
+///    micro-batched:
 ///    a dispatcher coalesces up to `max_batch_size` waiting requests
 ///    (waiting at most `batch_window` for stragglers) into ONE
 ///    `run_z_batch` sweep spread over the shared ThreadPool.
 ///  - `on_calibration` runs the repository decision for a new calibration
 ///    snapshot (reuse / compress-new / failure report) and atomically
-///    hot-swaps the active compiled executor: epochs are immutable
+///    hot-swaps the active compiled backend: epochs are immutable
 ///    shared_ptr snapshots, so in-flight batches finish on the program they
 ///    started with and every prediction names the epoch that produced it.
 ///
@@ -82,11 +91,14 @@ struct ServingStats {
 /// is NOT synchronized against concurrent `on_calibration` — monitoring
 /// loops should read `stats()` instead.
 ///
-/// With `eval.shots == 0` (the default) predictions are exact expectations:
-/// a request's logits are bitwise-identical however requests are split into
-/// micro-batches and whatever pool serves them. Shot-sampled serving
-/// (`shots > 0`) draws each batch's RNG streams from the batch layout, so
-/// determinism then holds only for a fixed request->batch assignment.
+/// With an expectation backend (the default exact density engine, or
+/// kPureStatevector) predictions are exact: a request's logits are
+/// bitwise-identical however requests are split into micro-batches and
+/// whatever pool serves them. Shot-sampled serving (legacy `eval.shots > 0`
+/// on the density engine, or the kSampled backend) draws each batch's RNG
+/// streams from the batch layout (sample i of a batch samples from
+/// seed + i), so determinism then holds only for a fixed request->batch
+/// assignment.
 class InferenceService {
  public:
   /// Builds a service serving `env.model` (routed as `env.transpiled`,

@@ -37,7 +37,12 @@ struct ServiceConfig {
 
   /// Request-execution knobs: noise model options, shots (0 = exact
   /// density-matrix expectations — the only mode whose predictions are
-  /// invariant under micro-batch boundaries), executor cache, worker pool.
+  /// invariant under micro-batch boundaries), executor cache, worker pool,
+  /// and `eval.backend` — the execution regime every epoch compiles to
+  /// (exact density noise by default; kSampled serves hardware-like
+  /// finite-shot predictions at statevector cost). validate() rejects
+  /// inconsistent combinations, e.g. the legacy density shot knob set while
+  /// a non-density backend is selected.
   NoisyEvalOptions eval;
 
   /// Repository-decision knobs for calibration events (reuse threshold
@@ -76,6 +81,10 @@ struct ServiceConfig {
   }
   ServiceConfig& with_shots(int shots) {
     eval.shots = shots;
+    return *this;
+  }
+  ServiceConfig& with_backend(BackendConfig backend) {
+    eval.backend = backend;
     return *this;
   }
 

@@ -28,6 +28,12 @@ class ThreadPool;
 /// run_density / run_z_reference — the ground truth the compiled path is
 /// tested against.
 ///
+/// This is the concrete engine behind the kDensityNoisy ExecutionBackend
+/// (backend/backend.hpp) — consumers select it (or any other regime)
+/// through BackendRegistry rather than constructing executors directly;
+/// only engine-level code and equivalence tests hold a NoisyExecutor by
+/// hand.
+///
 /// All run methods are const and safe to call concurrently.
 class NoisyExecutor {
  public:
@@ -85,6 +91,12 @@ class NoisyExecutor {
 /// circuit was lowered by lower_model_symbolic — so one compiled program is
 /// replayed across every (sample, theta) pair of a training run instead of
 /// re-walking the gate list per evaluation.
+///
+/// Two ExecutionBackends front this engine (backend/backend.hpp):
+/// kPureStatevector exposes its exact expectations, and kSampled replays
+/// the same compiled program once per sample and draws finite-shot
+/// bitstrings (+ readout confusion) from the final state
+/// (backend/sampled_backend.hpp).
 ///
 /// Readout contract (same as NoisyExecutor): run_z output is ordered by
 /// position in circuit.readout_physical() — slot k is class k — never

@@ -1,0 +1,561 @@
+// Contract tests of the pluggable execution-backend API (src/backend/):
+// config validation, capability flags, registry dispatch equivalence with
+// the direct NoisyExecutor / PureExecutor paths (1e-10), the sampled
+// backend's seeded determinism + shots->inf convergence to the pure logits
+// + hand-computed readout-error application, and the config threading
+// through evaluator / trainer / harness / serving.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "backend/registry.hpp"
+#include "backend/sampled_backend.hpp"
+#include "core/strategies.hpp"
+#include "data/seismic_synth.hpp"
+#include "eval/harness.hpp"
+#include "noise/calibration_history.hpp"
+#include "qnn/eval_cache.hpp"
+#include "qnn/evaluator.hpp"
+#include "qnn/trainer.hpp"
+#include "serve/inference_service.hpp"
+#include "test_support.hpp"
+#include "transpile/transpiler.hpp"
+
+namespace qucad {
+namespace {
+
+using test::kAgreementTol;
+
+/// Small but real evaluation configuration: the 4-qubit paper model routed
+/// on belem with a drifting calibration and a seeded theta.
+struct BackendFixture {
+  CalibrationHistory history{FluctuationScenario::belem(), 5, 4242};
+  QnnModel model = build_paper_model(4, 4, 2, 1);
+  std::vector<double> theta = init_params(model, 11);
+  TranspiledModel transpiled =
+      transpile_model(model.circuit, model.readout_qubits, CouplingMap::belem(),
+                      &history.day(0));
+  Dataset data;
+
+  BackendFixture() {
+    Dataset raw = make_seismic(24, 5);
+    data = FeatureScaler::fit(raw).transform(raw);
+  }
+
+  BackendContext context() const {
+    BackendContext c;
+    c.model = &model;
+    c.transpiled = &transpiled;
+    c.theta = theta;
+    c.calibration = &history.day(0);
+    return c;
+  }
+};
+
+std::shared_ptr<const ExecutionBackend> must_make(const BackendConfig& config,
+                                                  const BackendContext& context) {
+  StatusOr<std::shared_ptr<const ExecutionBackend>> backend =
+      make_backend(config, context);
+  EXPECT_TRUE(backend.ok()) << backend.status().to_string();
+  return *backend;
+}
+
+TEST(BackendConfig, ValidatesKnobCombinations) {
+  EXPECT_TRUE(BackendConfig().validate().ok());
+  EXPECT_TRUE(BackendConfig()
+                  .with_kind(BackendKind::kSampled)
+                  .with_shots(1024)
+                  .validate()
+                  .ok());
+  // Unseeded sampling is allowed only when determinism is explicitly waived.
+  EXPECT_TRUE(BackendConfig()
+                  .with_kind(BackendKind::kSampled)
+                  .with_shots(64)
+                  .with_deterministic(false)
+                  .with_seed(std::nullopt)
+                  .validate()
+                  .ok());
+
+  EXPECT_EQ(BackendConfig().with_shots(-1).validate().code(),
+            StatusCode::kInvalidArgument);
+  // Shots on the expectation kinds are inconsistent by construction.
+  EXPECT_EQ(BackendConfig().with_shots(100).validate().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(BackendConfig()
+                .with_kind(BackendKind::kPureStatevector)
+                .with_shots(100)
+                .validate()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // A sampling backend without a shot budget cannot produce logits.
+  EXPECT_EQ(BackendConfig().with_kind(BackendKind::kSampled).validate().code(),
+            StatusCode::kInvalidArgument);
+  // Determinism requested but no seed to derive the stream from.
+  EXPECT_EQ(BackendConfig()
+                .with_kind(BackendKind::kSampled)
+                .with_shots(64)
+                .with_seed(std::nullopt)
+                .validate()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(BackendConfig, KindCapabilities) {
+  const BackendCapabilities& density =
+      backend_kind_capabilities(BackendKind::kDensityNoisy);
+  EXPECT_TRUE(density.models_noise);
+  EXPECT_TRUE(density.readout_error);
+  EXPECT_FALSE(density.gradients);
+
+  const BackendCapabilities& pure =
+      backend_kind_capabilities(BackendKind::kPureStatevector);
+  EXPECT_FALSE(pure.models_noise);
+  EXPECT_TRUE(pure.gradients);
+  EXPECT_FALSE(pure.finite_shots);
+
+  const BackendCapabilities& sampled =
+      backend_kind_capabilities(BackendKind::kSampled);
+  EXPECT_FALSE(sampled.models_noise);
+  EXPECT_TRUE(sampled.finite_shots);
+  EXPECT_TRUE(sampled.readout_error);
+  EXPECT_FALSE(sampled.gradients);
+}
+
+TEST(BackendRegistry, DensityDispatchMatchesDirectExecutor) {
+  const BackendFixture fx;
+  const std::shared_ptr<const ExecutionBackend> backend =
+      must_make(BackendConfig{}, fx.context());
+  EXPECT_EQ(backend->kind(), BackendKind::kDensityNoisy);
+  EXPECT_TRUE(backend->capabilities().models_noise);
+
+  const std::shared_ptr<const NoisyExecutor> direct = build_noisy_executor(
+      fx.model, fx.transpiled, fx.theta, fx.history.day(0), {});
+  for (std::size_t i = 0; i < 4; ++i) {
+    const std::vector<double> via_registry =
+        backend->run_logits(fx.data.features[i]);
+    const std::vector<double> via_executor = direct->run_z(fx.data.features[i]);
+    ASSERT_EQ(via_registry.size(), via_executor.size());
+    for (std::size_t k = 0; k < via_registry.size(); ++k) {
+      EXPECT_NEAR(via_registry[k], via_executor[k], kAgreementTol)
+          << "sample " << i << " slot " << k;
+    }
+  }
+
+  // The fused batch path is the same sweep the executor runs directly.
+  const auto batch_registry = backend->run_logits_batch(fx.data.features);
+  const auto batch_executor = direct->run_z_batch(fx.data.features);
+  ASSERT_EQ(batch_registry.size(), batch_executor.size());
+  for (std::size_t i = 0; i < batch_registry.size(); ++i) {
+    for (std::size_t k = 0; k < batch_registry[i].size(); ++k) {
+      EXPECT_NEAR(batch_registry[i][k], batch_executor[i][k], kAgreementTol);
+    }
+  }
+
+  const BackendDiagnostics diag = backend->diagnostics();
+  EXPECT_EQ(diag.kind, BackendKind::kDensityNoisy);
+  EXPECT_GT(diag.compiled_ops, 0u);
+  EXPECT_EQ(diag.num_qubits, direct->circuit().num_qubits());
+}
+
+TEST(BackendRegistry, DensityLegacyShotsMatchExecutorShotPath) {
+  const BackendFixture fx;
+  BackendContext context = fx.context();
+  context.density_shots = 64;
+  context.density_shot_seed = 7;
+  const std::shared_ptr<const ExecutionBackend> backend =
+      must_make(BackendConfig{}, context);
+  EXPECT_TRUE(backend->capabilities().finite_shots);
+
+  const std::shared_ptr<const NoisyExecutor> direct = build_noisy_executor(
+      fx.model, fx.transpiled, fx.theta, fx.history.day(0), {});
+  const auto via_registry = backend->run_logits_batch(fx.data.features);
+  const auto via_executor = direct->run_z_batch(fx.data.features, 64, 7);
+  ASSERT_EQ(via_registry.size(), via_executor.size());
+  for (std::size_t i = 0; i < via_registry.size(); ++i) {
+    EXPECT_EQ(via_registry[i], via_executor[i]) << "sample " << i;
+  }
+}
+
+TEST(BackendRegistry, PureDispatchMatchesDirectExecutor) {
+  const BackendFixture fx;
+  const std::shared_ptr<const ExecutionBackend> backend = must_make(
+      BackendConfig().with_kind(BackendKind::kPureStatevector), fx.context());
+  EXPECT_EQ(backend->kind(), BackendKind::kPureStatevector);
+
+  const std::shared_ptr<const PureExecutor> direct =
+      build_pure_executor(fx.model.circuit, fx.model.readout_qubits);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const std::vector<double> via_registry =
+        backend->run_logits(fx.data.features[i]);
+    const std::vector<double> via_executor =
+        direct->run_z(fx.data.features[i], fx.theta);
+    ASSERT_EQ(via_registry.size(), via_executor.size());
+    for (std::size_t k = 0; k < via_registry.size(); ++k) {
+      EXPECT_NEAR(via_registry[k], via_executor[k], kAgreementTol)
+          << "sample " << i << " slot " << k;
+    }
+  }
+}
+
+TEST(BackendRegistry, DensityNarrowsReadoutCapabilityWhenDisabled) {
+  const BackendFixture fx;
+  BackendContext context = fx.context();
+  EXPECT_TRUE(must_make(BackendConfig{}, context)->capabilities().readout_error);
+  context.noise.include_readout_error = false;
+  EXPECT_FALSE(
+      must_make(BackendConfig{}, context)->capabilities().readout_error);
+}
+
+TEST(BackendRegistry, ReportsMissingContext) {
+  const BackendFixture fx;
+  BackendContext context = fx.context();
+  context.calibration = nullptr;
+  const auto backend = make_backend(BackendConfig{}, context);
+  EXPECT_FALSE(backend.ok());
+  EXPECT_EQ(backend.status().code(), StatusCode::kInvalidArgument);
+
+  BackendContext no_model;
+  EXPECT_FALSE(
+      make_backend(BackendConfig().with_kind(BackendKind::kPureStatevector),
+                   no_model)
+          .ok());
+}
+
+TEST(BackendRegistry, CustomFactoryOverrides) {
+  /// Stand-in for a future remote/hardware backend: fixed logits.
+  class StubBackend final : public ExecutionBackend {
+   public:
+    BackendKind kind() const override { return BackendKind::kPureStatevector; }
+    const BackendCapabilities& capabilities() const override {
+      return backend_kind_capabilities(BackendKind::kPureStatevector);
+    }
+    BackendDiagnostics diagnostics() const override {
+      BackendDiagnostics d;
+      d.name = "stub";
+      return d;
+    }
+    std::vector<double> run_logits(std::span<const double>) const override {
+      return {0.25, -0.75};
+    }
+  };
+
+  BackendRegistry registry;  // local: the global registry stays pristine
+  registry.register_factory(
+      BackendKind::kPureStatevector,
+      [](const BackendConfig&, const BackendContext&)
+          -> StatusOr<std::shared_ptr<const ExecutionBackend>> {
+        return std::shared_ptr<const ExecutionBackend>(
+            std::make_shared<const StubBackend>());
+      });
+
+  const BackendFixture fx;
+  const auto backend = registry.make(
+      BackendConfig().with_kind(BackendKind::kPureStatevector), fx.context());
+  ASSERT_TRUE(backend.ok());
+  EXPECT_EQ((*backend)->diagnostics().name, "stub");
+  EXPECT_EQ((*backend)->run_logits(fx.data.features[0])[1], -0.75);
+
+  // A brand-new kind beyond the built-in enumerators: the table grows on
+  // demand, and an unregistered kind is a Status, not an abort.
+  const BackendKind custom = static_cast<BackendKind>(7);
+  EXPECT_FALSE(
+      registry.make(BackendConfig().with_kind(custom), fx.context()).ok());
+  registry.register_factory(
+      custom,
+      [](const BackendConfig&, const BackendContext&)
+          -> StatusOr<std::shared_ptr<const ExecutionBackend>> {
+        return std::shared_ptr<const ExecutionBackend>(
+            std::make_shared<const StubBackend>());
+      });
+  EXPECT_TRUE(
+      registry.make(BackendConfig().with_kind(custom), fx.context()).ok());
+}
+
+TEST(BackendRegistry, RejectsLegacyDensityShotsOnNonDensityKinds) {
+  // The chokepoint guard: no backend path may silently drop a caller's
+  // legacy shot request.
+  const BackendFixture fx;
+  BackendContext context = fx.context();
+  context.density_shots = 32;
+  const auto backend = make_backend(
+      BackendConfig().with_kind(BackendKind::kPureStatevector), context);
+  ASSERT_FALSE(backend.ok());
+  EXPECT_EQ(backend.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BackendRegistry, SampledReportsUncoveredReadoutAsStatus) {
+  // A calibration narrower than a routed readout qubit must come back as a
+  // Status through the registry's no-throw path, never as an exception.
+  QnnModel model;
+  model.circuit = Circuit(3);
+  model.circuit.x(2);
+  model.num_classes = 2;
+  model.readout_qubits = {0, 2};
+  Calibration narrow(2, {});
+
+  BackendContext context;
+  context.model = &model;
+  context.calibration = &narrow;
+  const auto backend = make_backend(
+      BackendConfig().with_kind(BackendKind::kSampled).with_shots(16), context);
+  ASSERT_FALSE(backend.ok());
+  EXPECT_EQ(backend.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SampledBackend, DeterministicUnderFixedSeed) {
+  const BackendFixture fx;
+  const BackendConfig config =
+      BackendConfig().with_kind(BackendKind::kSampled).with_shots(256).with_seed(
+          std::uint64_t{5});
+  const auto a = must_make(config, fx.context());
+  const auto b = must_make(config, fx.context());
+
+  const auto batch_a = a->run_logits_batch(fx.data.features);
+  const auto batch_b = b->run_logits_batch(fx.data.features);
+  ASSERT_EQ(batch_a.size(), batch_b.size());
+  for (std::size_t i = 0; i < batch_a.size(); ++i) {
+    EXPECT_EQ(batch_a[i], batch_b[i]) << "sample " << i;  // bitwise
+  }
+  // Single-sample replay equals slot 0 of the batch (seed + 0 convention).
+  EXPECT_EQ(a->run_logits(fx.data.features[0]), batch_a[0]);
+
+  const auto c = must_make(
+      BackendConfig(config).with_seed(std::uint64_t{6}), fx.context());
+  EXPECT_NE(c->run_logits_batch(fx.data.features), batch_a)
+      << "a different seed must draw a different shot stream";
+
+  // Caller-seeded instances advertise determinism; an entropy-seeded one
+  // narrows the capability (it cannot reproduce across builds).
+  EXPECT_TRUE(a->capabilities().deterministic);
+  const auto unseeded = must_make(BackendConfig(config)
+                                      .with_deterministic(false)
+                                      .with_seed(std::nullopt),
+                                  fx.context());
+  EXPECT_FALSE(unseeded->capabilities().deterministic);
+}
+
+TEST(SampledBackend, ConvergesToPureLogitsAsShotsGrow) {
+  const BackendFixture fx;
+  // Confusion-free context: convergence target is the exact pure logits.
+  BackendContext context = fx.context();
+  context.noise.include_readout_error = false;
+
+  const auto pure = must_make(
+      BackendConfig().with_kind(BackendKind::kPureStatevector), context);
+  const std::vector<double> exact = pure->run_logits(fx.data.features[0]);
+
+  // Tolerance schedule: 5 standard deviations of the worst-case shot noise
+  // (sigma <= 1/sqrt(shots) per <Z> estimate). Deterministic under the
+  // fixed seed, so this never flakes.
+  double previous_worst = 2.0;
+  for (const int shots : {1000, 10000, 100000}) {
+    const auto sampled = must_make(BackendConfig()
+                                       .with_kind(BackendKind::kSampled)
+                                       .with_shots(shots)
+                                       .with_seed(std::uint64_t{12}),
+                                   context);
+    EXPECT_FALSE(sampled->capabilities().readout_error);
+    const std::vector<double> estimate =
+        sampled->run_logits(fx.data.features[0]);
+    ASSERT_EQ(estimate.size(), exact.size());
+    const double tolerance = 5.0 / std::sqrt(static_cast<double>(shots));
+    double worst = 0.0;
+    for (std::size_t k = 0; k < exact.size(); ++k) {
+      worst = std::max(worst, std::abs(estimate[k] - exact[k]));
+      EXPECT_NEAR(estimate[k], exact[k], tolerance)
+          << "shots=" << shots << " slot " << k;
+    }
+    EXPECT_LT(worst, previous_worst * 1.5)
+        << "error must not blow up as shots grow (shots=" << shots << ")";
+    previous_worst = std::max(worst, 1e-6);
+  }
+}
+
+TEST(SampledBackend, AppliesReadoutErrorHandComputedCase) {
+  // Deterministic 2-qubit state |01> (qubit 0 flipped to 1): the sampled
+  // bit of qubit 0 is always 1 and of qubit 1 always 0 before confusion, so
+  // the confused expectations are closed-form:
+  //   E[Z_0] = -(1 - p0|1) + p0|1 = 2*p0|1 - 1 = -0.6
+  //   E[Z_1] = (1 - p1|0) - p1|0 = 1 - 2*p1|0 = 0.9
+  QnnModel model;
+  model.circuit = Circuit(2);
+  model.circuit.x(0);
+  model.num_classes = 2;
+  model.readout_qubits = {0, 1};
+
+  Calibration calib(2, {});
+  calib.set_readout(0, ReadoutError{0.1, 0.2});
+  calib.set_readout(1, ReadoutError{0.05, 0.3});
+
+  BackendContext context;
+  context.model = &model;
+  context.calibration = &calib;
+
+  const auto sampled = must_make(BackendConfig()
+                                     .with_kind(BackendKind::kSampled)
+                                     .with_shots(200000)
+                                     .with_seed(std::uint64_t{3}),
+                                 context);
+  EXPECT_TRUE(sampled->capabilities().readout_error);
+  const std::vector<double> z = sampled->run_logits(std::vector<double>{});
+  ASSERT_EQ(z.size(), 2u);
+  // 200k shots: sigma < 0.0023 per slot; 0.01 is > 4 sigma.
+  EXPECT_NEAR(z[0], -0.6, 0.01);
+  EXPECT_NEAR(z[1], 0.9, 0.01);
+
+  // The same configuration with confusion disabled reads the true bits.
+  context.noise.include_readout_error = false;
+  const auto clean = must_make(BackendConfig()
+                                   .with_kind(BackendKind::kSampled)
+                                   .with_shots(128)
+                                   .with_seed(std::uint64_t{3}),
+                               context);
+  const std::vector<double> exact_bits = clean->run_logits(std::vector<double>{});
+  EXPECT_DOUBLE_EQ(exact_bits[0], -1.0);
+  EXPECT_DOUBLE_EQ(exact_bits[1], 1.0);
+}
+
+TEST(BackendThreading, EvaluatorDispatchesConfiguredBackend) {
+  const BackendFixture fx;
+
+  // Pure backend through the evaluator == the noise-free evaluator path.
+  NoisyEvalOptions pure_options;
+  pure_options.backend.kind = BackendKind::kPureStatevector;
+  const double via_eval =
+      noisy_accuracy(fx.model, fx.transpiled, fx.theta, fx.data,
+                     fx.history.day(0), pure_options);
+  EXPECT_DOUBLE_EQ(via_eval, noise_free_accuracy(fx.model, fx.theta, fx.data));
+
+  // Sampled backend evaluates end to end and is deterministic.
+  NoisyEvalOptions sampled_options;
+  sampled_options.backend =
+      BackendConfig().with_kind(BackendKind::kSampled).with_shots(512);
+  const NoisyEvalResult a = noisy_evaluate(fx.model, fx.transpiled, fx.theta,
+                                           fx.data, fx.history.day(0),
+                                           sampled_options);
+  const NoisyEvalResult b = noisy_evaluate(fx.model, fx.transpiled, fx.theta,
+                                           fx.data, fx.history.day(0),
+                                           sampled_options);
+  EXPECT_EQ(a.predictions, b.predictions);
+  EXPECT_GE(a.accuracy, 0.0);
+  EXPECT_LE(a.accuracy, 1.0);
+
+  // Legacy density shot knob + non-density backend is rejected, not mixed.
+  NoisyEvalOptions conflicting = sampled_options;
+  conflicting.shots = 32;
+  const auto status = noisy_evaluate_or(fx.model, fx.transpiled, fx.theta,
+                                        fx.data, fx.history.day(0), conflicting);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.status().code(), StatusCode::kInvalidArgument);
+
+  // An invalid backend config surfaces as a Status, not an abort.
+  NoisyEvalOptions invalid;
+  invalid.backend.kind = BackendKind::kSampled;  // shots == 0
+  EXPECT_FALSE(noisy_evaluate_or(fx.model, fx.transpiled, fx.theta, fx.data,
+                                 fx.history.day(0), invalid)
+                   .ok());
+}
+
+TEST(BackendThreading, HarnessBackendOverride) {
+  const BackendFixture fx;
+  Environment env;
+  env.model = fx.model;
+  env.transpiled = fx.transpiled;
+  env.theta_pretrained = fx.theta;
+  env.train = fx.data;
+  env.test = fx.data;
+
+  BaselineStrategy strategy(env);
+  HarnessOptions options;
+  options.backend = BackendConfig().with_kind(BackendKind::kPureStatevector);
+  const MethodResult result = run_longitudinal(
+      strategy, env, {}, {fx.history.day(0), fx.history.day(1)}, options);
+  ASSERT_EQ(result.daily_accuracy.size(), 2u);
+  const double noise_free = noise_free_accuracy(fx.model, fx.theta, fx.data);
+  // The noise-free regime is calibration-independent: every day equals the
+  // pure accuracy exactly.
+  EXPECT_DOUBLE_EQ(result.daily_accuracy[0], noise_free);
+  EXPECT_DOUBLE_EQ(result.daily_accuracy[1], noise_free);
+}
+
+TEST(BackendThreading, TrainerRejectsNonGradientBackend) {
+  const BackendFixture fx;
+  std::vector<double> theta = fx.theta;
+  TrainConfig config;
+  config.epochs = 1;
+  config.backend.kind = BackendKind::kDensityNoisy;
+  EXPECT_THROW(train_model(fx.model, theta, fx.data, config),
+               PreconditionError);
+
+  config.backend.kind = BackendKind::kSampled;
+  config.backend.shots = 64;
+  EXPECT_THROW(train_model(fx.model, theta, fx.data, config),
+               PreconditionError);
+}
+
+TEST(BackendThreading, ServiceConfigValidatesBackendCombinations) {
+  // Backend config errors propagate through ServiceConfig::validate.
+  EXPECT_EQ(ServiceConfig()
+                .with_backend(BackendConfig().with_kind(BackendKind::kSampled))
+                .validate()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Legacy density shots with a non-density backend is inconsistent.
+  EXPECT_EQ(ServiceConfig()
+                .with_backend(BackendConfig()
+                                  .with_kind(BackendKind::kSampled)
+                                  .with_shots(128))
+                .with_shots(64)
+                .validate()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(ServiceConfig()
+                  .with_backend(BackendConfig()
+                                    .with_kind(BackendKind::kSampled)
+                                    .with_shots(128))
+                  .validate()
+                  .ok());
+}
+
+TEST(BackendThreading, ServingOnSampledBackendReportsKind) {
+  const BackendFixture fx;
+  Environment env;
+  env.model = fx.model;
+  env.transpiled = fx.transpiled;
+  env.theta_pretrained = fx.theta;
+  env.train = fx.data;
+
+  ServiceConfig config = ServiceConfig::from_environment(env).with_backend(
+      BackendConfig().with_kind(BackendKind::kSampled).with_shots(256));
+  StatusOr<InferenceService> service =
+      InferenceService::create(env, {}, fx.history.day(0), config);
+  ASSERT_TRUE(service.ok()) << service.status().to_string();
+
+  const auto first = service->submit_batch(fx.data.features);
+  ASSERT_TRUE(first.ok()) << first.status().to_string();
+  for (const Prediction& p : *first) {
+    EXPECT_EQ(p.backend, BackendKind::kSampled);
+    EXPECT_EQ(p.epoch, 1u);
+  }
+  // Identical batch layout + fixed seed: sampled serving is reproducible.
+  const auto second = service->submit_batch(fx.data.features);
+  ASSERT_TRUE(second.ok());
+  for (std::size_t i = 0; i < first->size(); ++i) {
+    EXPECT_EQ((*first)[i].logits, (*second)[i].logits) << "sample " << i;
+  }
+
+  // The default service keeps reporting the density regime.
+  StatusOr<InferenceService> density =
+      InferenceService::create(env, {}, fx.history.day(0));
+  ASSERT_TRUE(density.ok());
+  const auto prediction = density->submit(fx.data.features[0]);
+  ASSERT_TRUE(prediction.ok());
+  EXPECT_EQ(prediction->backend, BackendKind::kDensityNoisy);
+}
+
+}  // namespace
+}  // namespace qucad
