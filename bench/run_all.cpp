@@ -17,6 +17,7 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -313,6 +314,135 @@ std::vector<Record> train_benches() {
   return records;
 }
 
+/// The SoA lane-replay record group: the batched compiled engines — forward
+/// (PureExecutor::run_z_batch) and gradient (batch_loss_grad) — with lane
+/// replay forced on vs forced off (the per-sample scalar reference) on the
+/// same model, theta, and sample rows. Both sides spread over the same
+/// worker pool, so the ratio isolates the SoA win (one op-stream walk per
+/// kLanes samples + vectorized lane kernels) from thread-level parallelism.
+/// "simd_batch_speedup" / "simd_grad_speedup" carry the dimensionless
+/// lanes/scalar ratios at batch 256 — hardware-independent, gated against
+/// the checked-in baseline in CI (>= 2x asserted on multi-core runners).
+/// "simd_noisy_speedup" is the same ratio for the density engine
+/// (NoisyExecutor::run_z_batch) at batch 64 on the belem workload.
+std::vector<Record> simd_benches() {
+  std::vector<Record> records;
+  const QnnModel model = build_paper_model(4, 4, 4, 2);
+  const auto theta = bench_theta(model.num_params(), 3);
+  const auto executor =
+      build_pure_executor(model.circuit, model.readout_qubits);
+  const Dataset data = make_mnist4(256, 24);
+
+  struct EngineSpec {
+    const char* label;
+    BatchReplay replay;
+  };
+  const EngineSpec engines[] = {
+      {"scalar", BatchReplay::kScalar},
+      {"lanes", BatchReplay::kLanes},
+  };
+
+  double forward_scalar_256 = 0.0;
+  double forward_lanes_256 = 0.0;
+  double grad_scalar_256 = 0.0;
+  double grad_lanes_256 = 0.0;
+  for (const std::size_t batch : {std::size_t{32}, std::size_t{256}}) {
+    const std::span<const std::vector<double>> sub(data.features.data(), batch);
+    std::vector<std::size_t> idx(batch);
+    for (std::size_t i = 0; i < batch; ++i) idx[i] = i;
+    for (const EngineSpec& engine : engines) {
+      const std::string params = std::string("engine=") + engine.label +
+                                 ",qubits=4,batch=" + std::to_string(batch);
+      const Record forward = time_loop(
+          "batch_forward", params, static_cast<double>(batch), "samples/sec",
+          [&] {
+            const auto zs =
+                executor->run_z_batch(sub, theta, nullptr, engine.replay);
+            volatile double sink = zs[0][0];
+            (void)sink;
+          });
+      records.push_back(forward);
+      const Record grad = time_loop(
+          "batch_grad", params, static_cast<double>(batch), "gradients/sec",
+          [&] {
+            const BatchGrad bg =
+                batch_loss_grad(*executor, theta, data, idx, 5.0,
+                                engine.replay);
+            volatile double sink = bg.grad[0];
+            (void)sink;
+          });
+      records.push_back(grad);
+      if (batch == 256) {
+        if (engine.replay == BatchReplay::kScalar) {
+          forward_scalar_256 = forward.throughput;
+          grad_scalar_256 = grad.throughput;
+        } else {
+          forward_lanes_256 = forward.throughput;
+          grad_lanes_256 = grad.throughput;
+        }
+      }
+    }
+  }
+
+  for (const auto& [name, lanes, scalar] :
+       {std::tuple<const char*, double, double>{
+            "simd_batch_speedup", forward_lanes_256, forward_scalar_256},
+        std::tuple<const char*, double, double>{
+            "simd_grad_speedup", grad_lanes_256, grad_scalar_256}}) {
+    Record speedup;
+    speedup.name = name;
+    speedup.params = "qubits=4,batch=256";
+    speedup.iters = 1;
+    speedup.seconds = 0.0;
+    speedup.throughput = lanes / scalar;
+    speedup.unit = "x (lanes / scalar)";
+    records.push_back(speedup);
+  }
+
+  // Density-engine lane replay: NoisyExecutor::run_z_batch with lanes forced
+  // on vs off over the same rows, exact expectations (shots = 0) — the shape
+  // of noisy_evaluate and the compression keep_best guard. Smaller batch
+  // than the pure group because each sample is a full density evolution.
+  {
+    const BenchWorkload w = make_workload();
+    const std::shared_ptr<const NoisyExecutor> noisy =
+        build_noisy_executor(w.model, w.transpiled, w.theta, w.calib(), {});
+    constexpr std::size_t kNoisyBatch = 64;
+    const std::span<const std::vector<double>> sub(data.features.data(),
+                                                   kNoisyBatch);
+    double noisy_scalar = 0.0;
+    double noisy_lanes = 0.0;
+    for (const EngineSpec& engine : engines) {
+      const std::string params = std::string("engine=") + engine.label +
+                                 ",qubits=4,device=belem,batch=" +
+                                 std::to_string(kNoisyBatch);
+      const Record rec = time_loop(
+          "noisy_batch_forward", params, static_cast<double>(kNoisyBatch),
+          "samples/sec", [&] {
+            const auto zs =
+                noisy->run_z_batch(sub, 0, 99, nullptr, engine.replay);
+            volatile double sink = zs[0][0];
+            (void)sink;
+          });
+      records.push_back(rec);
+      if (engine.replay == BatchReplay::kScalar) {
+        noisy_scalar = rec.throughput;
+      } else {
+        noisy_lanes = rec.throughput;
+      }
+    }
+    Record speedup;
+    speedup.name = "simd_noisy_speedup";
+    speedup.params = "qubits=4,device=belem,batch=64";
+    speedup.iters = 1;
+    speedup.seconds = 0.0;
+    speedup.throughput = noisy_lanes / noisy_scalar;
+    speedup.unit = "x (lanes / scalar)";
+    records.push_back(speedup);
+  }
+  return records;
+}
+
 /// Concurrent-client measurement: `clients` threads each push `per_client`
 /// requests through InferenceService::submit as fast as the service answers,
 /// recording per-request wall latency.
@@ -588,6 +718,7 @@ int main(int argc, char** argv) {
     write_group(dir, "noisy_eval", noisy_eval_benches());
     write_group(dir, "compiled_eval", compiled_eval_benches());
     write_group(dir, "train", train_benches());
+    write_group(dir, "simd", simd_benches());
     write_group(dir, "serving", serving_benches());
     write_group(dir, "backends", backend_benches());
   } catch (const std::exception& e) {

@@ -18,24 +18,28 @@ const BackendCapabilities& backend_kind_capabilities(BackendKind kind) {
                                            /*finite_shots=*/false,
                                            /*readout_error=*/true,
                                            /*gradients=*/false,
-                                           /*deterministic=*/true};
+                                           /*deterministic=*/true,
+                                           /*batched_replay=*/true};
   static const BackendCapabilities pure{/*models_noise=*/false,
                                         /*finite_shots=*/false,
                                         /*readout_error=*/false,
                                         /*gradients=*/true,
-                                        /*deterministic=*/true};
+                                        /*deterministic=*/true,
+                                        /*batched_replay=*/true};
   static const BackendCapabilities sampled{/*models_noise=*/false,
                                            /*finite_shots=*/true,
                                            /*readout_error=*/true,
                                            /*gradients=*/false,
-                                           /*deterministic=*/true};
+                                           /*deterministic=*/true,
+                                           /*batched_replay=*/true};
   // Kinds beyond the built-ins (custom registry registrations) claim
   // nothing statically — consult the built instance's capabilities().
   static const BackendCapabilities unknown{/*models_noise=*/false,
                                            /*finite_shots=*/false,
                                            /*readout_error=*/false,
                                            /*gradients=*/false,
-                                           /*deterministic=*/false};
+                                           /*deterministic=*/false,
+                                           /*batched_replay=*/false};
   switch (kind) {
     case BackendKind::kDensityNoisy: return density;
     case BackendKind::kPureStatevector: return pure;

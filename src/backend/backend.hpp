@@ -63,6 +63,11 @@ struct BackendCapabilities {
   /// Identical inputs produce bitwise-identical logits (exact expectations,
   /// or shot sampling under a fixed seed).
   bool deterministic = true;
+  /// run_logits_batch replays full sample blocks through the SoA lane
+  /// engine (sim/batched_state.hpp) instead of looping run_logits. Only the
+  /// statevector-replay kinds can: the density engine evolves one matrix
+  /// per sample by construction.
+  bool batched_replay = false;
 };
 
 /// Static capabilities of a built-in kind (what any backend of that kind

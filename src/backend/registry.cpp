@@ -53,6 +53,8 @@ class DensityMatrixBackend final : public ExecutionBackend {
   std::vector<std::vector<double>> run_logits_batch(
       std::span<const std::vector<double>> xs,
       ThreadPool* pool = nullptr) const override {
+    // Fused SoA lane replay over full blocks, scalar tail — see
+    // NoisyExecutor::run_z_batch.
     return executor_->run_z_batch(xs, shots_, shot_seed_, pool);
   }
 
@@ -90,6 +92,14 @@ class PureStatevectorBackend final : public ExecutionBackend {
 
   std::vector<double> run_logits(std::span<const double> x) const override {
     return executor_->run_z(x, theta_);
+  }
+
+  std::vector<std::vector<double>> run_logits_batch(
+      std::span<const std::vector<double>> xs,
+      ThreadPool* pool = nullptr) const override {
+    // Fused SoA lane replay over full blocks, scalar tail — see
+    // PureExecutor::run_z_batch.
+    return executor_->run_z_batch(xs, theta_, pool);
   }
 
  private:

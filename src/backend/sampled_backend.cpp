@@ -65,29 +65,16 @@ BackendDiagnostics SampledStatevectorBackend::diagnostics() const {
   return d;
 }
 
-std::vector<double> SampledStatevectorBackend::sample_into(
-    std::span<const double> x, std::uint64_t sample_seed, StateVector& sv,
-    std::vector<double>& cdf) const {
-  executor_->run_state(sv, x, theta_);
-  const std::vector<cplx>& amps = sv.amplitudes();
-
-  // Cumulative distribution over basis states, built in place. The final
-  // entry (~1.0 up to rounding) is used as the draw range so a slightly
-  // off-norm state never biases the tail bucket.
-  cdf.resize(amps.size());
-  double acc = 0.0;
-  for (std::size_t i = 0; i < amps.size(); ++i) {
-    acc += std::norm(amps[i]);
-    cdf[i] = acc;
-  }
-
+std::vector<double> SampledStatevectorBackend::draw_logits(
+    const std::vector<double>& cdf, double total,
+    std::uint64_t sample_seed) const {
   const std::vector<int>& slots = executor_->circuit().readout_physical();
   std::vector<double> z(slots.size(), 0.0);
   Rng rng(sample_seed);
   for (int s = 0; s < shots_; ++s) {
-    const double u = rng.uniform(0.0, acc);
+    const double u = rng.uniform(0.0, total);
     auto it = std::upper_bound(cdf.begin(), cdf.end(), u);
-    // uniform_real_distribution may return exactly `acc` under rounding;
+    // uniform_real_distribution may return exactly `total` under rounding;
     // clamp so the draw lands on the last basis state, not past the end.
     if (it == cdf.end()) it = std::prev(cdf.end());
     const std::size_t bits =
@@ -110,19 +97,73 @@ std::vector<double> SampledStatevectorBackend::sample_into(
   return z;
 }
 
+std::vector<double> SampledStatevectorBackend::sample_into(
+    std::span<const double> x, std::uint64_t sample_seed, StateVector& sv,
+    std::vector<double>& cdf) const {
+  executor_->run_state(sv, x, theta_);
+  const std::vector<cplx>& amps = sv.amplitudes();
+
+  // Cumulative distribution over basis states, built in place. The final
+  // entry (~1.0 up to rounding) is used as the draw range so a slightly
+  // off-norm state never biases the tail bucket.
+  cdf.resize(amps.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < amps.size(); ++i) {
+    acc += std::norm(amps[i]);
+    cdf[i] = acc;
+  }
+  return draw_logits(cdf, acc, sample_seed);
+}
+
 std::vector<double> SampledStatevectorBackend::run_logits(
     std::span<const double> x) const {
+  require(x.size() >=
+              static_cast<std::size_t>(executor_->program().num_inputs()),
+          "feature vector too short for compiled program");
   SampleScratch& scratch = thread_scratch(executor_->circuit().num_qubits());
   return sample_into(x, seed_, *scratch.sv, scratch.cdf);
 }
 
 std::vector<std::vector<double>> SampledStatevectorBackend::run_logits_batch(
     std::span<const std::vector<double>> xs, ThreadPool* pool) const {
+  constexpr std::size_t kLanes = BatchedStateVector::kLanes;
+  // Validate the whole batch at the API boundary (calling thread): a ragged
+  // row fails here, not inside a worker's replay.
+  for (const std::vector<double>& x : xs) {
+    require(x.size() >=
+                static_cast<std::size_t>(executor_->program().num_inputs()),
+            "feature vector too short for compiled program");
+  }
   std::vector<std::vector<double>> zs(xs.size());
   ThreadPool& workers = pool ? *pool : ThreadPool::global();
-  workers.parallel_for(xs.size(), [&](std::size_t i) {
-    SampleScratch& scratch = thread_scratch(executor_->circuit().num_qubits());
-    zs[i] = sample_into(xs[i], seed_ + i, *scratch.sv, scratch.cdf);
+  const std::size_t blocks =
+      use_lane_replay(BatchReplay::kAuto) ? xs.size() / kLanes : 0;
+  const std::size_t tail_start = blocks * kLanes;
+  const std::size_t tail = xs.size() - tail_start;
+  // Full lane blocks replay once through the SoA engine and then sample
+  // each lane's final state; the lane amplitudes — and so the CDFs and the
+  // seed_ + i shot draws — are bitwise identical to the per-sample path.
+  workers.parallel_for(blocks + tail, [&](std::size_t t) {
+    const int qubits = executor_->circuit().num_qubits();
+    SampleScratch& scratch = thread_scratch(qubits);
+    if (t >= blocks) {
+      const std::size_t i = tail_start + (t - blocks);
+      zs[i] = sample_into(xs[i], seed_ + i, *scratch.sv, scratch.cdf);
+      return;
+    }
+    thread_local std::unique_ptr<BatchedStateVector> lanes_sv;
+    if (!lanes_sv || lanes_sv->num_qubits() != qubits) {
+      lanes_sv = std::make_unique<BatchedStateVector>(qubits);
+    }
+    std::array<const double*, kLanes> lanes;
+    const std::size_t first = t * kLanes;
+    for (std::size_t l = 0; l < kLanes; ++l) lanes[l] = xs[first + l].data();
+    executor_->run_state_lanes(*lanes_sv, lanes, theta_);
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      double total = 0.0;
+      lanes_sv->lane_cdf(l, scratch.cdf, total);
+      zs[first + l] = draw_logits(scratch.cdf, total, seed_ + first + l);
+    }
   });
   return zs;
 }

@@ -66,6 +66,15 @@ class SampledStatevectorBackend final : public ExecutionBackend {
   /// into different batches redraws their streams. Consumers that need
   /// exact reproducibility must keep the request->batch assignment fixed
   /// (the serving layer documents the same caveat).
+  ///
+  /// Full blocks of BatchedStateVector::kLanes samples replay through the
+  /// SoA lane engine and then sample each lane's final state; because the
+  /// lane replay is bitwise identical to the scalar replay (see
+  /// sim/batched_state.hpp) the drawn shot streams — and therefore the
+  /// logits — are bit-for-bit the same as the per-sample path. The ragged
+  /// tail (and everything, under the QUCAD_SCALAR_REPLAY kill switch) goes
+  /// per-sample. Every row is validated against the program's input arity
+  /// up front, on the calling thread.
   std::vector<std::vector<double>> run_logits_batch(
       std::span<const std::vector<double>> xs,
       ThreadPool* pool = nullptr) const override;
@@ -79,6 +88,12 @@ class SampledStatevectorBackend final : public ExecutionBackend {
   std::vector<double> sample_into(std::span<const double> x,
                                   std::uint64_t sample_seed, StateVector& sv,
                                   std::vector<double>& cdf) const;
+
+  /// The shot-draw loop shared by the scalar and lane paths: `shots_` draws
+  /// from `cdf` (running total `total`) under an Rng seeded with
+  /// `sample_seed`, confusion flips included.
+  std::vector<double> draw_logits(const std::vector<double>& cdf, double total,
+                                  std::uint64_t sample_seed) const;
 
   std::shared_ptr<const PureExecutor> executor_;
   std::vector<double> theta_;

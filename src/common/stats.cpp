@@ -10,22 +10,24 @@
 namespace qucad {
 
 double mean(std::span<const double> xs) {
-  if (xs.empty()) return 0.0;
+  require(!xs.empty(), "mean requires non-empty input");
   return std::accumulate(xs.begin(), xs.end(), 0.0) / static_cast<double>(xs.size());
 }
 
 double variance(std::span<const double> xs) {
-  if (xs.size() < 2) return 0.0;
+  require(!xs.empty(), "variance requires non-empty input");
+  if (xs.size() < 2) return 0.0;  // a single point carries no spread
   const double m = mean(xs);
   double acc = 0.0;
   for (double x : xs) acc += (x - m) * (x - m);
-  return acc / static_cast<double>(xs.size());
+  // Bessel's correction: the unbiased sample estimator.
+  return acc / static_cast<double>(xs.size() - 1);
 }
 
 double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
 
 double median(std::span<const double> xs) {
-  if (xs.empty()) return 0.0;
+  require(!xs.empty(), "median requires non-empty input");
   std::vector<double> sorted(xs.begin(), xs.end());
   std::sort(sorted.begin(), sorted.end());
   const std::size_t n = sorted.size();
@@ -44,7 +46,7 @@ double max_value(std::span<const double> xs) {
 }
 
 std::size_t argmax(std::span<const double> xs) {
-  if (xs.empty()) return 0;
+  require(!xs.empty(), "argmax requires non-empty input");
   return static_cast<std::size_t>(
       std::distance(xs.begin(), std::max_element(xs.begin(), xs.end())));
 }

@@ -6,21 +6,33 @@
 
 namespace qucad {
 
-/// Arithmetic mean; 0 for empty input.
+/// \file
+/// Small-sample statistics shared by the bench aggregators, drift metrics,
+/// and classifiers. Empty-input contract: every reduction here REQUIRES a
+/// non-empty input (PreconditionError otherwise) — a silent 0 from an empty
+/// batch reads as a perfect latency / flat gradient and masks the real bug
+/// upstream. Callers with legitimately-maybe-empty inputs guard at the call
+/// site.
+
+/// Arithmetic mean. Requires non-empty input.
 double mean(std::span<const double> xs);
 
-/// Population variance (divides by N); 0 for fewer than 2 points.
+/// Bessel-corrected SAMPLE variance (divides by N-1): the unbiased
+/// estimator, matching what error bars over repeated measurements mean.
+/// Requires non-empty input; exactly 0 for a single point (no spread
+/// information, and the N-1 denominator would be 0/0).
 double variance(std::span<const double> xs);
 
+/// sqrt(variance): sample standard deviation. Requires non-empty input.
 double stddev(std::span<const double> xs);
 
-/// Median (average of middle two for even N).
+/// Median (average of middle two for even N). Requires non-empty input.
 double median(std::span<const double> xs);
 
 double min_value(std::span<const double> xs);
 double max_value(std::span<const double> xs);
 
-/// Index of the maximum element; 0 for empty input.
+/// Index of the maximum element (first of ties). Requires non-empty input.
 std::size_t argmax(std::span<const double> xs);
 
 /// Pearson correlation coefficient; 0 when either side has zero variance.

@@ -101,13 +101,14 @@ double noise_free_accuracy(const QnnModel& model, std::span<const double> theta,
   const std::shared_ptr<const PureExecutor> executor =
       CompiledEvalCache::global().get_or_build_pure(model.circuit,
                                                     model.readout_qubits);
-  std::vector<int> correct(data.size(), 0);
-  parallel_for(data.size(), [&](std::size_t i) {
-    const std::vector<double> logits = executor->run_z(data.features[i], theta);
-    correct[i] = static_cast<int>(argmax(logits)) == data.labels[i] ? 1 : 0;
-  });
+  // Batched replay: full sample blocks go through the SoA lane engine, the
+  // ragged tail per sample (PureExecutor::run_z_batch).
+  const std::vector<std::vector<double>> logits =
+      executor->run_z_batch(data.features, theta);
   std::size_t total = 0;
-  for (int c : correct) total += static_cast<std::size_t>(c);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    total += static_cast<int>(argmax(logits[i])) == data.labels[i] ? 1 : 0;
+  }
   return static_cast<double>(total) / static_cast<double>(data.size());
 }
 

@@ -1,0 +1,201 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace qucad {
+
+/// \file
+/// SoA batched statevector: the sample-vectorized state behind the compiled
+/// engines' lane replay. Where StateVector holds one sample's amplitudes as
+/// interleaved complex numbers, BatchedStateVector holds kLanes samples'
+/// amplitudes in structure-of-arrays layout — separate real and imaginary
+/// planes indexed `[amplitude][sample_lane]` — so every compiled op applies
+/// across all lanes with unit-stride inner loops that the compiler
+/// vectorizes (`#pragma omp simd`; build with -fopenmp-simd, no OpenMP
+/// runtime needed).
+///
+/// Lane-uniform vs lane-divergent ops: within one replayed batch, theta is
+/// shared by every lane, so literal unitaries/diagonals, CX permutations,
+/// and theta-symbolic RZ angles resolve to ONE matrix broadcast across
+/// lanes. Only input-symbolic RZ angles (the data encoders) diverge per
+/// lane, which is why every kernel below comes in a uniform and a
+/// `_lanes` (per-lane matrix) variant.
+///
+/// Arithmetic contract: each lane's amplitudes evolve through EXACTLY the
+/// same floating-point operations, in the same order, as a scalar
+/// StateVector replay of that sample (plain mul/add complex arithmetic, no
+/// reassociation). The sampled backend's batched path relies on this to
+/// reproduce its per-sample shot draws bit for bit.
+
+/// How a batch entry point replays its samples.
+enum class BatchReplay : std::uint8_t {
+  /// Lane replay unless the QUCAD_SCALAR_REPLAY environment knob forces the
+  /// scalar path (see docs/BUILDING.md).
+  kAuto = 0,
+  kLanes = 1,   ///< SoA lane replay (full blocks; scalar for the ragged tail)
+  kScalar = 2,  ///< per-sample scalar replay (the 1e-10-pinned reference)
+};
+
+/// False when the QUCAD_SCALAR_REPLAY environment variable is set non-empty
+/// (checked once per process): the kill switch for the SIMD lane path.
+bool lane_replay_enabled();
+
+/// Resolves a BatchReplay request against the environment knob.
+inline bool use_lane_replay(BatchReplay replay) {
+  if (replay == BatchReplay::kLanes) return true;
+  if (replay == BatchReplay::kScalar) return false;
+  return lane_replay_enabled();
+}
+
+/// kLanes statevectors evolved in lockstep. Same qubit/index conventions as
+/// StateVector (qubit 0 = least significant bit of the amplitude index);
+/// storage is `re[amp * kLanes + lane]` plus the matching `im` plane.
+class BatchedStateVector {
+ public:
+  /// Lanes per block: 8 doubles = one cache line per plane row, wide enough
+  /// for AVX2 (4 doubles) and AVX-512 (8) vectors.
+  static constexpr std::size_t kLanes = 8;
+
+  explicit BatchedStateVector(int num_qubits);
+
+  int num_qubits() const { return num_qubits_; }
+  /// Amplitudes per lane (2^num_qubits).
+  std::size_t dim() const { return dim_; }
+
+  /// Raw SoA planes, `[amp * kLanes + lane]` — for the batched adjoint's
+  /// fused ket/lam kernels.
+  double* re() { return re_.data(); }
+  double* im() { return im_.data(); }
+  const double* re() const { return re_.data(); }
+  const double* im() const { return im_.data(); }
+
+  /// Resets every lane to |0...0>.
+  void reset();
+
+  /// Applies one 2x2 matrix (row-major) to qubit q of every lane.
+  void apply1(int q, const std::array<cplx, 4>& m);
+
+  /// Per-lane 2x2 matrices: ms[lane] applies to that lane only (the
+  /// input-symbolic SymUni1 path).
+  void apply1_lanes(int q, const std::array<cplx, 4>* ms);
+
+  /// Applies diag(d0, d1) to qubit q of every lane.
+  void apply_diag1(int q, cplx d0, cplx d1);
+
+  /// Per-lane diagonals d0s[lane], d1s[lane] (the input-symbolic RZ path —
+  /// the only lane-divergent op a compiled pure program contains besides
+  /// its SymUni1/CRot2 wrappers).
+  void apply_diag1_lanes(int q, const cplx* d0s, const cplx* d1s);
+
+  /// CRot2 block pass: m on the control-0 target pair, X m X on the
+  /// control-1 pair (see CompiledProgram::run_pure), every lane.
+  void apply_crot(int control, int target, const std::array<cplx, 4>& m);
+
+  /// Per-lane CRot2 interior matrices.
+  void apply_crot_lanes(int control, int target, const std::array<cplx, 4>* ms);
+
+  /// CX as an amplitude-row swap, every lane.
+  void apply_cx(int control, int target);
+
+  /// `<Z>` of each readout slot per lane, written to
+  /// `out[slot * kLanes + lane]` — slot-ordered (class position), matching
+  /// PureExecutor::run_z.
+  void readout_z(std::span<const int> slots, double* out) const;
+
+  /// `<Z_q>` for every qubit per lane, written to
+  /// `out[q * kLanes + lane]` (the adjoint weight-hook layout).
+  void all_z(double* out) const;
+
+  /// One lane's cumulative probability distribution over basis states, with
+  /// the running total returned through `total` — built with the same
+  /// accumulation order as the scalar sampling path, so the CDF is bitwise
+  /// identical to a per-sample replay.
+  void lane_cdf(std::size_t lane, std::vector<double>& cdf,
+                double& total) const;
+
+ private:
+  int num_qubits_ = 0;
+  std::size_t dim_ = 0;
+  std::vector<double> re_;
+  std::vector<double> im_;
+};
+
+struct FusedChannel1;
+struct FusedChannel2;
+
+/// kLanes density matrices evolved in lockstep — the noisy engine's
+/// counterpart of BatchedStateVector. Storage is SoA over the row-major
+/// entries: `re[(r * dim + c) * kLanes + lane]` plus the matching `im`
+/// plane, so every compiled op (unitary conjugation, CX permutation, fused
+/// error channel) sweeps all lanes with unit-stride inner loops.
+///
+/// Same arithmetic contract as BatchedStateVector: each lane's entries
+/// evolve through exactly the floating-point operations, in the order, of a
+/// scalar DensityMatrix replay of that sample, so lane results are bitwise
+/// identical to the per-sample reference. Error channels and theta-symbolic
+/// angles are lane-uniform by construction (noise does not depend on the
+/// input row); only input-symbolic RZ angles diverge per lane.
+class BatchedDensityMatrix {
+ public:
+  static constexpr std::size_t kLanes = BatchedStateVector::kLanes;
+  /// Scratch is dim^2 * kLanes complex entries (8 MiB at 8 qubits); batch
+  /// entry points fall back to per-sample scalar replay above this.
+  static constexpr int kMaxQubits = 8;
+
+  explicit BatchedDensityMatrix(int num_qubits);
+
+  int num_qubits() const { return num_qubits_; }
+  /// Rows (= columns) per lane: 2^num_qubits.
+  std::size_t dim() const { return dim_; }
+
+  /// Resets every lane to |0...0><0...0|.
+  void reset();
+
+  /// rho -> U rho U^dag on qubit q, one 2x2 for every lane.
+  void apply1(int q, const std::array<cplx, 4>& u);
+
+  /// Per-lane 2x2 matrices (the input-symbolic SymUni1 path).
+  void apply1_lanes(int q, const std::array<cplx, 4>* us);
+
+  /// rho -> U rho U^dag for diagonal U = diag(d0, d1), every lane.
+  void apply_diag1(int q, cplx d0, cplx d1);
+
+  /// Per-lane diagonals (the input-symbolic SymDiag1 path).
+  void apply_diag1_lanes(int q, const cplx* d0s, const cplx* d1s);
+
+  /// rho -> U rho U^dag for a two-qubit U (row-major 4x4, local index
+  /// 2*bit(q0) + bit(q1)), every lane — the CRot2 block pass.
+  void apply2(int q0, int q1, const std::array<cplx, 16>& u);
+
+  /// Per-lane 4x4 matrices (an input-symbolic CRot2 interior).
+  void apply2_lanes(int q0, int q1, const std::array<cplx, 16>* us);
+
+  /// rho -> CX rho CX^dag as the index-pair relabeling, every lane.
+  void apply_cx(int control, int target);
+
+  /// Fused single-qubit error site, every lane (lane-uniform: calibrated
+  /// noise does not depend on the sample).
+  void apply_channel1(int q, const FusedChannel1& ch);
+
+  /// Fused CX error site, every lane.
+  void apply_channel2(int qa, int qb, const FusedChannel2& ch);
+
+  /// One lane's computational-basis probabilities (the diagonal of its rho),
+  /// resized and written to `probs` — a plain read, so the vector feeds the
+  /// SAME scalar readout/shot-sampling code as a per-sample replay.
+  void lane_probabilities(std::size_t lane, std::vector<double>& probs) const;
+
+ private:
+  int num_qubits_ = 0;
+  std::size_t dim_ = 0;
+  std::vector<double> re_;
+  std::vector<double> im_;
+};
+
+}  // namespace qucad

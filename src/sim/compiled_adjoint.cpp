@@ -300,4 +300,323 @@ AdjointResult compiled_adjoint_gradient(const CompiledProgram& program,
       workspace);
 }
 
+namespace {
+
+// ---- SoA lane kernels for the batched reverse sweep ----
+//
+// Same lockstep ket/lam structure as the scalar kernels above, widened to
+// BatchedStateVector::kLanes samples: per-lane matrices are transposed into
+// lane-major rows so the inner loops stay unit-stride, and the per-lane
+// gradient overlap accumulates into an acc[kLanes] array. To keep each
+// kernel a single loop, callers without an overlap pass a scratch array
+// whose contents are discarded.
+
+constexpr std::size_t kLanes = BatchedStateVector::kLanes;
+
+struct LaneMats {
+  double r[4][kLanes];
+  double i[4][kLanes];
+};
+
+LaneMats transpose_mats(const std::array<cplx, 4>* ms) {
+  LaneMats t;
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    for (std::size_t e = 0; e < 4; ++e) {
+      t.r[e][l] = ms[l][e].real();
+      t.i[e][l] = ms[l][e].imag();
+    }
+  }
+  return t;
+}
+
+void lanes_unapply2_both(BatchedStateVector& ket, BatchedStateVector& lam,
+                         int q, const LaneMats& m, double* acc) {
+  const std::size_t stride = std::size_t{1} << q;
+  const std::size_t dim = ket.dim();
+  double* kr = ket.re();
+  double* ki = ket.im();
+  double* lr = lam.re();
+  double* li = lam.im();
+  for (std::size_t base = 0; base < dim; base += 2 * stride) {
+    for (std::size_t off = 0; off < stride; ++off) {
+      const std::size_t i0 = (base + off) * kLanes;
+      const std::size_t i1 = i0 + stride * kLanes;
+#pragma omp simd
+      for (std::size_t l = 0; l < kLanes; ++l) {
+        const double k0r = kr[i0 + l], k0i = ki[i0 + l];
+        const double k1r = kr[i1 + l], k1i = ki[i1 + l];
+        const double l0r = lr[i0 + l], l0i = li[i0 + l];
+        const double l1r = lr[i1 + l], l1i = li[i1 + l];
+        // Im(conj(l) * k), Z sign flip on the bit-1 half.
+        acc[l] += (l0r * k0i - l0i * k0r) - (l1r * k1i - l1i * k1r);
+        kr[i0 + l] = (m.r[0][l] * k0r - m.i[0][l] * k0i) +
+                     (m.r[1][l] * k1r - m.i[1][l] * k1i);
+        ki[i0 + l] = (m.r[0][l] * k0i + m.i[0][l] * k0r) +
+                     (m.r[1][l] * k1i + m.i[1][l] * k1r);
+        kr[i1 + l] = (m.r[2][l] * k0r - m.i[2][l] * k0i) +
+                     (m.r[3][l] * k1r - m.i[3][l] * k1i);
+        ki[i1 + l] = (m.r[2][l] * k0i + m.i[2][l] * k0r) +
+                     (m.r[3][l] * k1i + m.i[3][l] * k1r);
+        lr[i0 + l] = (m.r[0][l] * l0r - m.i[0][l] * l0i) +
+                     (m.r[1][l] * l1r - m.i[1][l] * l1i);
+        li[i0 + l] = (m.r[0][l] * l0i + m.i[0][l] * l0r) +
+                     (m.r[1][l] * l1i + m.i[1][l] * l1r);
+        lr[i1 + l] = (m.r[2][l] * l0r - m.i[2][l] * l0i) +
+                     (m.r[3][l] * l1r - m.i[3][l] * l1i);
+        li[i1 + l] = (m.r[2][l] * l0i + m.i[2][l] * l0r) +
+                     (m.r[3][l] * l1i + m.i[3][l] * l1r);
+      }
+    }
+  }
+}
+
+void lanes_undiag_both(BatchedStateVector& ket, BatchedStateVector& lam, int q,
+                       const double (&d0r)[kLanes], const double (&d0i)[kLanes],
+                       const double (&d1r)[kLanes], const double (&d1i)[kLanes],
+                       double* acc) {
+  const std::size_t mq = std::size_t{1} << q;
+  const std::size_t dim = ket.dim();
+  double* kr = ket.re();
+  double* ki = ket.im();
+  double* lr = lam.re();
+  double* li = lam.im();
+  for (std::size_t i = 0; i < dim; ++i) {
+    const bool hi = (i & mq) != 0;
+    const double* dr = hi ? d1r : d0r;
+    const double* di = hi ? d1i : d0i;
+    const double sign = hi ? -1.0 : 1.0;
+    const std::size_t row = i * kLanes;
+#pragma omp simd
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      const double akr = kr[row + l], aki = ki[row + l];
+      const double alr = lr[row + l], ali = li[row + l];
+      acc[l] += sign * (alr * aki - ali * akr);
+      kr[row + l] = akr * dr[l] - aki * di[l];
+      ki[row + l] = akr * di[l] + aki * dr[l];
+      lr[row + l] = alr * dr[l] - ali * di[l];
+      li[row + l] = alr * di[l] + ali * dr[l];
+    }
+  }
+}
+
+/// Lane uncrot; when `a_mat` is non-null also accumulates the per-lane
+/// generator overlap Im(<lam| CX (I (x) A) CX |ket>) into acc.
+void lanes_uncrot_both(BatchedStateVector& ket, BatchedStateVector& lam,
+                       int control, int target, const LaneMats& m,
+                       const std::array<cplx, 4>* a_mat, double* acc) {
+  const std::size_t mc = std::size_t{1} << control;
+  const std::size_t mt = std::size_t{1} << target;
+  const std::size_t dim = ket.dim();
+  double* kr = ket.re();
+  double* ki = ket.im();
+  double* lr = lam.re();
+  double* li = lam.im();
+  for (std::size_t i = 0; i < dim; ++i) {
+    if ((i & mc) || (i & mt)) continue;
+    const std::size_t i00 = i * kLanes;
+    const std::size_t i01 = (i | mt) * kLanes;
+    const std::size_t i10 = (i | mc) * kLanes;
+    const std::size_t i11 = (i | mc | mt) * kLanes;
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      const cplx k00{kr[i00 + l], ki[i00 + l]};
+      const cplx k01{kr[i01 + l], ki[i01 + l]};
+      const cplx k10{kr[i10 + l], ki[i10 + l]};
+      const cplx k11{kr[i11 + l], ki[i11 + l]};
+      const cplx l00{lr[i00 + l], li[i00 + l]};
+      const cplx l01{lr[i01 + l], li[i01 + l]};
+      const cplx l10{lr[i10 + l], li[i10 + l]};
+      const cplx l11{lr[i11 + l], li[i11 + l]};
+      if (a_mat != nullptr) {
+        const std::array<cplx, 4>& a = *a_mat;
+        // Control-0 pair sees A; control-1 pair sees X A X.
+        const cplx g0 = std::conj(l00) * (a[0] * k00 + a[1] * k01) +
+                        std::conj(l01) * (a[2] * k00 + a[3] * k01);
+        const cplx g1 = std::conj(l10) * (a[3] * k10 + a[2] * k11) +
+                        std::conj(l11) * (a[1] * k10 + a[0] * k11);
+        acc[l] += g0.imag() + g1.imag();
+      }
+      const cplx m0{m.r[0][l], m.i[0][l]};
+      const cplx m1{m.r[1][l], m.i[1][l]};
+      const cplx m2{m.r[2][l], m.i[2][l]};
+      const cplx m3{m.r[3][l], m.i[3][l]};
+      auto store = [&](std::size_t at, cplx v) {
+        kr[at + l] = v.real();
+        ki[at + l] = v.imag();
+      };
+      store(i00, m0 * k00 + m1 * k01);
+      store(i01, m2 * k00 + m3 * k01);
+      store(i10, m3 * k10 + m2 * k11);
+      store(i11, m1 * k10 + m0 * k11);
+      auto store_l = [&](std::size_t at, cplx v) {
+        lr[at + l] = v.real();
+        li[at + l] = v.imag();
+      };
+      store_l(i00, m0 * l00 + m1 * l01);
+      store_l(i01, m2 * l00 + m3 * l01);
+      store_l(i10, m3 * l10 + m2 * l11);
+      store_l(i11, m1 * l10 + m0 * l11);
+    }
+  }
+}
+
+void lanes_uncx_both(BatchedStateVector& ket, BatchedStateVector& lam,
+                     int control, int target) {
+  ket.apply_cx(control, target);
+  lam.apply_cx(control, target);
+}
+
+}  // namespace
+
+LaneAdjointResult compiled_adjoint_gradient_lanes(
+    const CompiledProgram& program, std::span<const double> theta,
+    const std::array<const double*, BatchedStateVector::kLanes>& xs,
+    const LaneObservableWeightFn& weight_fn, LaneAdjointWorkspace* workspace) {
+  require(!program.has_channels(),
+          "compiled adjoint requires a noiseless program");
+  const int n = program.num_qubits();
+
+  LaneAdjointWorkspace local;
+  LaneAdjointWorkspace& ws = workspace ? *workspace : local;
+  if (!ws.ket || ws.ket->num_qubits() != n) {
+    ws.ket = std::make_unique<BatchedStateVector>(n);
+    ws.lam = std::make_unique<BatchedStateVector>(n);
+  }
+
+  program.run_pure_lanes(*ws.ket, xs, theta, &ws.resolved);
+
+  LaneAdjointResult result;
+  result.z_expectations.resize(kLanes);
+  std::vector<double> z_all(static_cast<std::size_t>(n) * kLanes);
+  ws.ket->all_z(z_all.data());
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    result.z_expectations[l].resize(static_cast<std::size_t>(n));
+    for (int q = 0; q < n; ++q) {
+      result.z_expectations[l][static_cast<std::size_t>(q)] =
+          z_all[static_cast<std::size_t>(q) * kLanes + l];
+    }
+  }
+
+  // Per-lane weights, transposed to wq[q * kLanes + lane] for the lam init.
+  std::vector<double> wq(static_cast<std::size_t>(n) * kLanes);
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    const std::vector<double> w = weight_fn(l, result.z_expectations[l]);
+    require(w.size() == static_cast<std::size_t>(n),
+            "observable weight vector must have one entry per qubit");
+    for (int q = 0; q < n; ++q) {
+      wq[static_cast<std::size_t>(q) * kLanes + l] =
+          w[static_cast<std::size_t>(q)];
+    }
+  }
+
+  const std::size_t num_params = std::max(
+      static_cast<std::size_t>(program.num_trainable()), theta.size());
+  result.gradients.assign(kLanes, std::vector<double>(num_params, 0.0));
+  if (program.num_trainable() == 0) return result;
+
+  // lam = O_eff |psi> per lane, O_eff = sum_q w_q Z_q (diagonal).
+  {
+    double* kr = ws.ket->re();
+    double* ki = ws.ket->im();
+    double* lr = ws.lam->re();
+    double* li = ws.lam->im();
+    for (std::size_t i = 0; i < ws.ket->dim(); ++i) {
+      double wsum[kLanes] = {};
+      for (int q = 0; q < n; ++q) {
+        const double z = (i >> q) & 1 ? -1.0 : 1.0;
+        const double* wrow = wq.data() + static_cast<std::size_t>(q) * kLanes;
+#pragma omp simd
+        for (std::size_t l = 0; l < kLanes; ++l) wsum[l] += z * wrow[l];
+      }
+      const std::size_t row = i * kLanes;
+#pragma omp simd
+      for (std::size_t l = 0; l < kLanes; ++l) {
+        lr[row + l] = wsum[l] * kr[row + l];
+        li[row + l] = wsum[l] * ki[row + l];
+      }
+    }
+  }
+
+  // Reverse sweep — the scalar sweep's structure with lane-wide duals.
+  std::array<std::array<cplx, 4>, kLanes> mds;
+  double acc[kLanes];
+  double scratch[kLanes] = {};  // discarded overlap for non-trainable ops
+  auto add_grads = [&](const CompiledOp& op) {
+    auto t = static_cast<std::size_t>(op.theta_index);
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      result.gradients[l][t] += op.theta_scale * acc[l];
+    }
+  };
+  const auto& ops = program.ops();
+  for (std::size_t idx = ops.size(); idx-- > 0;) {
+    const CompiledOp& op = ops[idx];
+    const std::array<cplx, 4>* res = ws.resolved.data() + idx * kLanes;
+    switch (op.kind) {
+      case COpKind::Unitary1: {
+        mds.fill(dagger2(op.u));
+        lanes_unapply2_both(*ws.ket, *ws.lam, op.q0, transpose_mats(mds.data()),
+                            scratch);
+        break;
+      }
+      case COpKind::Diag1:
+      case COpKind::SymDiag1: {
+        double d0r[kLanes], d0i[kLanes], d1r[kLanes], d1i[kLanes];
+        for (std::size_t l = 0; l < kLanes; ++l) {
+          const cplx d0 = op.kind == COpKind::Diag1 ? std::conj(op.u[0])
+                                                    : std::conj(res[l][0]);
+          const cplx d1 = op.kind == COpKind::Diag1 ? std::conj(op.u[3])
+                                                    : std::conj(res[l][3]);
+          d0r[l] = d0.real();
+          d0i[l] = d0.imag();
+          d1r[l] = d1.real();
+          d1i[l] = d1.imag();
+        }
+        if (op.kind == COpKind::SymDiag1 && op.theta_index >= 0) {
+          std::fill(acc, acc + kLanes, 0.0);
+          lanes_undiag_both(*ws.ket, *ws.lam, op.q0, d0r, d0i, d1r, d1i, acc);
+          add_grads(op);
+        } else {
+          lanes_undiag_both(*ws.ket, *ws.lam, op.q0, d0r, d0i, d1r, d1i,
+                            scratch);
+        }
+        break;
+      }
+      case COpKind::SymUni1: {
+        for (std::size_t l = 0; l < kLanes; ++l) mds[l] = dagger2(res[l]);
+        if (op.theta_index >= 0) {
+          std::fill(acc, acc + kLanes, 0.0);
+          lanes_unapply2_both(*ws.ket, *ws.lam, op.q0,
+                              transpose_mats(mds.data()), acc);
+          add_grads(op);
+        } else {
+          lanes_unapply2_both(*ws.ket, *ws.lam, op.q0,
+                              transpose_mats(mds.data()), scratch);
+        }
+        break;
+      }
+      case COpKind::CRot2: {
+        for (std::size_t l = 0; l < kLanes; ++l) mds[l] = dagger2(res[l]);
+        if (op.theta_index >= 0) {
+          const std::array<cplx, 4> a_mat = conjugated_z_generator(op.u2);
+          std::fill(acc, acc + kLanes, 0.0);
+          lanes_uncrot_both(*ws.ket, *ws.lam, op.q0, op.q1,
+                            transpose_mats(mds.data()), &a_mat, acc);
+          add_grads(op);
+        } else {
+          lanes_uncrot_both(*ws.ket, *ws.lam, op.q0, op.q1,
+                            transpose_mats(mds.data()), nullptr, scratch);
+        }
+        break;
+      }
+      case COpKind::Cx:
+        lanes_uncx_both(*ws.ket, *ws.lam, op.q0, op.q1);
+        break;
+      case COpKind::Channel1:
+      case COpKind::Channel2:
+        require(false, "cannot un-apply a channel op");
+        break;
+    }
+  }
+  return result;
+}
+
 }  // namespace qucad

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <functional>
+#include <memory>
 #include <span>
 
 #include "sim/adjoint.hpp"
@@ -62,5 +64,41 @@ AdjointResult compiled_adjoint_gradient(const CompiledProgram& program,
                                         std::span<const double> x,
                                         std::vector<double> fixed_weights,
                                         AdjointWorkspace* workspace = nullptr);
+
+/// Reusable scratch for compiled_adjoint_gradient_lanes — the SoA lane
+/// counterpart of AdjointWorkspace (one per worker thread, never shared
+/// between concurrent calls). Heap-held so the workspace stays cheap to
+/// construct and resizes lazily on first use / qubit-count change.
+struct LaneAdjointWorkspace {
+  std::unique_ptr<BatchedStateVector> ket;  ///< forward lanes |psi>
+  std::unique_ptr<BatchedStateVector> lam;  ///< adjoint lanes
+  /// Per-lane angle-resolved matrices, `[op * kLanes + lane]` (see
+  /// CompiledProgram::run_pure_lanes).
+  std::vector<std::array<cplx, 4>> resolved;
+};
+
+/// Per-lane observable weights: receives the lane index and that lane's
+/// `<Z_q>` vector (indexed by qubit id) and returns dL/d`<Z_q>` per qubit —
+/// the lane counterpart of ObservableWeightFn.
+using LaneObservableWeightFn = std::function<std::vector<double>(
+    std::size_t lane, const std::vector<double>& z_expectations)>;
+
+/// Per-lane adjoint outputs, outer index = sample lane.
+struct LaneAdjointResult {
+  std::vector<std::vector<double>> z_expectations;  ///< [lane][qubit]
+  std::vector<std::vector<double>> gradients;       ///< [lane][param]
+};
+
+/// Adjoint differentiation over BatchedStateVector::kLanes samples at once:
+/// one SoA forward replay, one SoA reverse sweep with lane-wide duals, each
+/// lane accumulating its own gradient vector. theta is shared across lanes
+/// (the batch-training shape); `xs[lane]` must hold at least
+/// program.num_inputs() entries, validated by the batch entry points.
+/// Matches the per-sample compiled_adjoint_gradient at 1e-10.
+LaneAdjointResult compiled_adjoint_gradient_lanes(
+    const CompiledProgram& program, std::span<const double> theta,
+    const std::array<const double*, BatchedStateVector::kLanes>& xs,
+    const LaneObservableWeightFn& weight_fn,
+    LaneAdjointWorkspace* workspace = nullptr);
 
 }  // namespace qucad

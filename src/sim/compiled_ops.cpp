@@ -446,6 +446,95 @@ void CompiledProgram::run(DensityMatrix& dm, std::span<const double> x,
   }
 }
 
+void CompiledProgram::run_lanes(
+    BatchedDensityMatrix& bdm,
+    const std::array<const double*, BatchedStateVector::kLanes>& xs,
+    std::span<const double> theta) const {
+  constexpr std::size_t kLanes = BatchedDensityMatrix::kLanes;
+  require(bdm.num_qubits() == num_qubits_,
+          "scratch matrix qubit count mismatch");
+  bdm.reset();
+  const std::size_t ni = static_cast<std::size_t>(num_inputs_);
+  // Same validated-row contract as run_pure_lanes: every lane's span covers
+  // num_inputs() entries, so angle resolution is the SAME code path as run().
+  auto lane_x = [&](std::size_t lane) {
+    return std::span<const double>(xs[lane], ni);
+  };
+  const cplx zero{0.0, 0.0};
+  for (const CompiledOp& op : ops_) {
+    const bool divergent = op.input_index >= 0;
+    switch (op.kind) {
+      case COpKind::Unitary1:
+        bdm.apply1(op.q0, op.u);
+        break;
+      case COpKind::Diag1:
+        bdm.apply_diag1(op.q0, op.u[0], op.u[3]);
+        break;
+      case COpKind::SymDiag1: {
+        if (divergent) {
+          cplx d0s[kLanes], d1s[kLanes];
+          for (std::size_t l = 0; l < kLanes; ++l) {
+            const auto [d0, d1] =
+                rz_diag(resolve_sym_angle(op, lane_x(l), theta));
+            d0s[l] = d0;
+            d1s[l] = d1;
+          }
+          bdm.apply_diag1_lanes(op.q0, d0s, d1s);
+        } else {
+          const auto [d0, d1] = rz_diag(resolve_sym_angle(op, {}, theta));
+          bdm.apply_diag1(op.q0, d0, d1);
+        }
+        break;
+      }
+      case COpKind::SymUni1: {
+        if (divergent) {
+          std::array<std::array<cplx, 4>, kLanes> ms;
+          for (std::size_t l = 0; l < kLanes; ++l) {
+            ms[l] = sym_uni_matrix(op, resolve_sym_angle(op, lane_x(l), theta));
+          }
+          bdm.apply1_lanes(op.q0, ms.data());
+        } else {
+          bdm.apply1(op.q0,
+                     sym_uni_matrix(op, resolve_sym_angle(op, {}, theta)));
+        }
+        break;
+      }
+      case COpKind::CRot2: {
+        // Same block-diagonal 4x4 as run(): M on control-0, X M X on
+        // control-1 (local index = 2*bit(q0) + bit(q1), q0 = control).
+        auto block = [&](const std::array<cplx, 4>& m) {
+          return std::array<cplx, 16>{m[0], m[1], zero, zero,  //
+                                      m[2], m[3], zero, zero,  //
+                                      zero, zero, m[3], m[2],  //
+                                      zero, zero, m[1], m[0]};
+        };
+        if (divergent) {
+          std::array<std::array<cplx, 16>, kLanes> us;
+          for (std::size_t l = 0; l < kLanes; ++l) {
+            us[l] = block(
+                crot_inner_matrix(op, resolve_sym_angle(op, lane_x(l), theta)));
+          }
+          bdm.apply2_lanes(op.q0, op.q1, us.data());
+        } else {
+          bdm.apply2(op.q0, op.q1,
+                     block(crot_inner_matrix(
+                         op, resolve_sym_angle(op, {}, theta))));
+        }
+        break;
+      }
+      case COpKind::Cx:
+        bdm.apply_cx(op.q0, op.q1);
+        break;
+      case COpKind::Channel1:
+        bdm.apply_channel1(op.q0, op.ch1);
+        break;
+      case COpKind::Channel2:
+        bdm.apply_channel2(op.q0, op.q1, op.ch2);
+        break;
+    }
+  }
+}
+
 void CompiledProgram::run_pure(StateVector& sv, std::span<const double> x,
                                std::span<const double> theta,
                                std::vector<std::array<cplx, 4>>* resolved) const {
@@ -504,6 +593,112 @@ void CompiledProgram::run_pure(StateVector& sv, std::span<const double> x,
       }
       case COpKind::Cx:
         sv.apply_cx(op.q0, op.q1);
+        break;
+      case COpKind::Channel1:
+      case COpKind::Channel2:
+        break;  // unreachable: guarded by the has_channels() require above
+    }
+  }
+}
+
+void CompiledProgram::run_pure_lanes(
+    BatchedStateVector& bsv,
+    const std::array<const double*, BatchedStateVector::kLanes>& xs,
+    std::span<const double> theta,
+    std::vector<std::array<cplx, 4>>* resolved) const {
+  constexpr std::size_t kLanes = BatchedStateVector::kLanes;
+  require(bsv.num_qubits() == num_qubits_,
+          "scratch state qubit count mismatch");
+  require(!has_channels(),
+          "run_pure_lanes requires a noiseless program (no channel ops)");
+  if (resolved != nullptr) resolved->resize(ops_.size() * kLanes);
+  bsv.reset();
+  const std::size_t ni = static_cast<std::size_t>(num_inputs_);
+  // Lane's feature row as a span: batch entry points validated each row
+  // holds >= num_inputs() entries, so resolve_sym_angle's bounds check
+  // always passes and angle resolution is the SAME code path as run_pure.
+  auto lane_x = [&](std::size_t lane) {
+    return std::span<const double>(xs[lane], ni);
+  };
+  for (std::size_t idx = 0; idx < ops_.size(); ++idx) {
+    const CompiledOp& op = ops_[idx];
+    const bool divergent = op.input_index >= 0;
+    switch (op.kind) {
+      case COpKind::Unitary1:
+        bsv.apply1(op.q0, op.u);
+        break;
+      case COpKind::Diag1:
+        bsv.apply_diag1(op.q0, op.u[0], op.u[3]);
+        break;
+      case COpKind::SymDiag1: {
+        if (divergent) {
+          cplx d0s[kLanes], d1s[kLanes];
+          for (std::size_t l = 0; l < kLanes; ++l) {
+            const auto [d0, d1] =
+                rz_diag(resolve_sym_angle(op, lane_x(l), theta));
+            d0s[l] = d0;
+            d1s[l] = d1;
+            if (resolved != nullptr) {
+              (*resolved)[idx * kLanes + l] = {d0, cplx{0.0, 0.0},
+                                               cplx{0.0, 0.0}, d1};
+            }
+          }
+          bsv.apply_diag1_lanes(op.q0, d0s, d1s);
+        } else {
+          const auto [d0, d1] = rz_diag(resolve_sym_angle(op, {}, theta));
+          if (resolved != nullptr) {
+            for (std::size_t l = 0; l < kLanes; ++l) {
+              (*resolved)[idx * kLanes + l] = {d0, cplx{0.0, 0.0},
+                                               cplx{0.0, 0.0}, d1};
+            }
+          }
+          bsv.apply_diag1(op.q0, d0, d1);
+        }
+        break;
+      }
+      case COpKind::SymUni1: {
+        if (divergent) {
+          std::array<std::array<cplx, 4>, kLanes> ms;
+          for (std::size_t l = 0; l < kLanes; ++l) {
+            ms[l] = sym_uni_matrix(op, resolve_sym_angle(op, lane_x(l), theta));
+            if (resolved != nullptr) (*resolved)[idx * kLanes + l] = ms[l];
+          }
+          bsv.apply1_lanes(op.q0, ms.data());
+        } else {
+          const std::array<cplx, 4> m =
+              sym_uni_matrix(op, resolve_sym_angle(op, {}, theta));
+          if (resolved != nullptr) {
+            for (std::size_t l = 0; l < kLanes; ++l) {
+              (*resolved)[idx * kLanes + l] = m;
+            }
+          }
+          bsv.apply1(op.q0, m);
+        }
+        break;
+      }
+      case COpKind::CRot2: {
+        if (divergent) {
+          std::array<std::array<cplx, 4>, kLanes> ms;
+          for (std::size_t l = 0; l < kLanes; ++l) {
+            ms[l] =
+                crot_inner_matrix(op, resolve_sym_angle(op, lane_x(l), theta));
+            if (resolved != nullptr) (*resolved)[idx * kLanes + l] = ms[l];
+          }
+          bsv.apply_crot_lanes(op.q0, op.q1, ms.data());
+        } else {
+          const std::array<cplx, 4> m =
+              crot_inner_matrix(op, resolve_sym_angle(op, {}, theta));
+          if (resolved != nullptr) {
+            for (std::size_t l = 0; l < kLanes; ++l) {
+              (*resolved)[idx * kLanes + l] = m;
+            }
+          }
+          bsv.apply_crot(op.q0, op.q1, m);
+        }
+        break;
+      }
+      case COpKind::Cx:
+        bsv.apply_cx(op.q0, op.q1);
         break;
       case COpKind::Channel1:
       case COpKind::Channel2:

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "noise/noise_model.hpp"
+#include "sim/batched_state.hpp"
 #include "sim/density_matrix.hpp"
 #include "sim/statevector.hpp"
 #include "transpile/physical.hpp"
@@ -153,6 +154,19 @@ class CompiledProgram {
   void run(DensityMatrix& dm, std::span<const double> x,
            std::span<const double> theta = {}) const;
 
+  /// Replays the program (channels included) over
+  /// BatchedDensityMatrix::kLanes samples at once — the SoA lane
+  /// counterpart of run(). `xs[lane]` points at that lane's feature vector,
+  /// which the CALLER must have validated to hold at least num_inputs()
+  /// entries (the batch entry points do this up front). theta and every
+  /// error channel are lane-uniform; only input-symbolic RZ angles diverge
+  /// per lane. Walks the SAME op stream with the same angle helpers as
+  /// run(), so each lane's entries are bitwise identical to a scalar run()
+  /// of that sample (see sim/batched_state.hpp).
+  void run_lanes(BatchedDensityMatrix& bdm,
+                 const std::array<const double*, BatchedStateVector::kLanes>& xs,
+                 std::span<const double> theta = {}) const;
+
   /// Replays a noiseless program on `sv` — the compiled forward pass of the
   /// statevector training path. Requires has_channels() == false. `sv` is
   /// reset first (same scratch-reuse contract as run()). With the default
@@ -167,6 +181,26 @@ class CompiledProgram {
   void run_pure(StateVector& sv, std::span<const double> x,
                 std::span<const double> theta = {},
                 std::vector<std::array<cplx, 4>>* resolved = nullptr) const;
+
+  /// Replays a noiseless program over BatchedStateVector::kLanes samples at
+  /// once — the SoA lane counterpart of run_pure. `xs[lane]` points at that
+  /// lane's feature vector, which the CALLER must have validated to hold at
+  /// least num_inputs() entries (the batch entry points do this up front).
+  /// theta is shared by every lane, so only input-symbolic angles diverge
+  /// per lane; every other op is applied with one broadcast matrix.
+  ///
+  /// Walks the SAME op stream as run_pure and builds per-lane matrices with
+  /// the same helpers, so each lane's amplitudes are bitwise identical to a
+  /// scalar run_pure of that sample (see sim/batched_state.hpp).
+  ///
+  /// When `resolved` is non-null it is resized to ops().size() * kLanes and
+  /// entry `idx * kLanes + lane` receives lane's angle-resolved 2x2 of
+  /// symbolic op idx — the lane adjoint's reverse-sweep input.
+  void run_pure_lanes(
+      BatchedStateVector& bsv,
+      const std::array<const double*, BatchedStateVector::kLanes>& xs,
+      std::span<const double> theta = {},
+      std::vector<std::array<cplx, 4>>* resolved = nullptr) const;
 
  private:
   int num_qubits_ = 0;

@@ -136,22 +136,68 @@ std::vector<double> NoisyExecutor::run_z_shots(std::span<const double> x,
 
 std::vector<std::vector<double>> NoisyExecutor::run_z_batch(
     std::span<const std::vector<double>> xs, int shots,
-    std::uint64_t shot_seed, ThreadPool* pool) const {
+    std::uint64_t shot_seed, ThreadPool* pool, BatchReplay replay) const {
+  constexpr std::size_t kLanes = BatchedDensityMatrix::kLanes;
+  // Validate the whole batch at the API boundary: a ragged row must fail
+  // here, on the calling thread, not deep inside a worker's replay.
+  for (const std::vector<double>& x : xs) {
+    require(x.size() >= static_cast<std::size_t>(program_.num_inputs()),
+            "feature vector too short for compiled program");
+  }
   std::vector<std::vector<double>> zs(xs.size());
   ThreadPool& workers = pool ? *pool : ThreadPool::global();
-  workers.parallel_for(xs.size(), [&](std::size_t i) {
-    // One scratch matrix per worker thread, recycled across samples (and
-    // across batches when the qubit count matches) — replays of the compiled
-    // program stay allocation-free.
-    thread_local std::unique_ptr<DensityMatrix> scratch;
-    if (!scratch || scratch->num_qubits() != circuit_.num_qubits()) {
-      scratch = std::make_unique<DensityMatrix>(circuit_.num_qubits());
+
+  const bool lanes_ok = use_lane_replay(replay) &&
+                        circuit_.num_qubits() <= BatchedDensityMatrix::kMaxQubits;
+  const std::size_t blocks = lanes_ok ? xs.size() / kLanes : 0;
+  const std::size_t tail_start = blocks * kLanes;
+  const std::size_t tail = xs.size() - tail_start;
+
+  // Task t < blocks replays one full lane block through the SoA density
+  // engine; the ragged tail (and everything, under scalar replay) goes
+  // through the per-sample reference path.
+  workers.parallel_for(blocks + tail, [&](std::size_t t) {
+    if (t >= blocks) {
+      const std::size_t i = tail_start + (t - blocks);
+      // One scratch matrix per worker thread, recycled across samples (and
+      // across batches when the qubit count matches) — replays of the
+      // compiled program stay allocation-free.
+      thread_local std::unique_ptr<DensityMatrix> scratch;
+      if (!scratch || scratch->num_qubits() != circuit_.num_qubits()) {
+        scratch = std::make_unique<DensityMatrix>(circuit_.num_qubits());
+      }
+      if (shots > 0) {
+        Rng rng(shot_seed + i);
+        zs[i] = run_z_into(xs[i], *scratch, shots, &rng);
+      } else {
+        zs[i] = run_z_into(xs[i], *scratch, 0, nullptr);
+      }
+      return;
     }
-    if (shots > 0) {
-      Rng rng(shot_seed + i);
-      zs[i] = run_z_into(xs[i], *scratch, shots, &rng);
-    } else {
-      zs[i] = run_z_into(xs[i], *scratch, 0, nullptr);
+    thread_local std::unique_ptr<BatchedDensityMatrix> lane_scratch;
+    if (!lane_scratch || lane_scratch->num_qubits() != circuit_.num_qubits()) {
+      lane_scratch = std::make_unique<BatchedDensityMatrix>(circuit_.num_qubits());
+    }
+    std::array<const double*, kLanes> lanes;
+    const std::size_t first = t * kLanes;
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      lanes[l] = xs[first + l].data();
+    }
+    program_.run_lanes(*lane_scratch, lanes);
+    // Per-lane finish: extract the lane's diagonal and run the SAME scalar
+    // readout-error / shot-sampling / <Z> code as run_z_into, with the Rng
+    // seeded by the GLOBAL sample index — results are bitwise identical to
+    // the per-sample path.
+    thread_local std::vector<double> probs;
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      const std::size_t i = first + l;
+      lane_scratch->lane_probabilities(l, probs);
+      if (shots > 0) {
+        Rng rng(shot_seed + i);
+        zs[i] = z_from_probs(finish_probs(probs, shots, &rng));
+      } else {
+        zs[i] = z_from_probs(finish_probs(probs, 0, nullptr));
+      }
     }
   });
   return zs;
@@ -208,6 +254,73 @@ AdjointResult PureExecutor::adjoint(std::span<const double> theta,
                                     const ObservableWeightFn& weight_fn,
                                     AdjointWorkspace* workspace) const {
   return compiled_adjoint_gradient(program_, theta, x, weight_fn, workspace);
+}
+
+void PureExecutor::run_state_lanes(
+    BatchedStateVector& bsv,
+    const std::array<const double*, BatchedStateVector::kLanes>& xs,
+    std::span<const double> theta) const {
+  program_.run_pure_lanes(bsv, xs, theta);
+}
+
+LaneAdjointResult PureExecutor::adjoint_lanes(
+    std::span<const double> theta,
+    const std::array<const double*, BatchedStateVector::kLanes>& xs,
+    const LaneObservableWeightFn& weight_fn,
+    LaneAdjointWorkspace* workspace) const {
+  return compiled_adjoint_gradient_lanes(program_, theta, xs, weight_fn,
+                                         workspace);
+}
+
+std::vector<std::vector<double>> PureExecutor::run_z_batch(
+    std::span<const std::vector<double>> xs, std::span<const double> theta,
+    ThreadPool* pool, BatchReplay replay) const {
+  constexpr std::size_t kLanes = BatchedStateVector::kLanes;
+  // Validate the whole batch at the API boundary (calling thread), so a
+  // ragged row never fails inside a worker's replay.
+  for (const std::vector<double>& x : xs) {
+    require(x.size() >= static_cast<std::size_t>(program_.num_inputs()),
+            "feature vector too short for compiled program");
+  }
+  std::vector<std::vector<double>> zs(xs.size());
+  ThreadPool& workers = pool ? *pool : ThreadPool::global();
+
+  const std::size_t blocks = use_lane_replay(replay) ? xs.size() / kLanes : 0;
+  const std::size_t tail_start = blocks * kLanes;
+  const std::size_t tail = xs.size() - tail_start;
+  const auto& slots = circuit_.readout_physical();
+
+  // Task t < blocks replays one full lane block through the SoA engine;
+  // the ragged tail (and everything, under scalar replay) goes through the
+  // per-sample reference path.
+  workers.parallel_for(blocks + tail, [&](std::size_t t) {
+    if (t >= blocks) {
+      const std::size_t i = tail_start + (t - blocks);
+      zs[i] = run_z(xs[i], theta);
+      return;
+    }
+    thread_local std::unique_ptr<BatchedStateVector> scratch;
+    if (!scratch || scratch->num_qubits() != circuit_.num_qubits()) {
+      scratch = std::make_unique<BatchedStateVector>(circuit_.num_qubits());
+    }
+    std::array<const double*, kLanes> lanes;
+    const std::size_t first = t * kLanes;
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      lanes[l] = xs[first + l].data();
+    }
+    program_.run_pure_lanes(*scratch, lanes, theta);
+    thread_local std::vector<double> zbuf;
+    zbuf.resize(slots.size() * kLanes);
+    scratch->readout_z(slots, zbuf.data());
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      std::vector<double>& z = zs[first + l];
+      z.resize(slots.size());
+      for (std::size_t k = 0; k < slots.size(); ++k) {
+        z[k] = zbuf[k * kLanes + l];
+      }
+    }
+  });
+  return zs;
 }
 
 StateVector run_physical_pure(const PhysicalCircuit& circuit,

@@ -55,9 +55,21 @@ class NoisyExecutor {
   /// process-global pool) with per-thread density-matrix scratch reuse.
   /// shots <= 0 gives exact expectations; otherwise sample i draws `shots`
   /// shots from an Rng seeded with shot_seed + i (matching noisy_evaluate).
+  /// Every row is validated against the program's input arity up front, on
+  /// the calling thread — a ragged batch fails here, not inside a worker.
+  ///
+  /// Full blocks of BatchedDensityMatrix::kLanes samples replay through the
+  /// SoA lane engine (one walk of the op stream per block); the ragged tail
+  /// falls back to per-sample replay. Lane entries are bitwise identical to
+  /// the scalar reference, and readout/shot post-processing runs the SAME
+  /// scalar code per lane, so `replay` never changes results — kScalar
+  /// forces the per-sample path, kAuto honours QUCAD_SCALAR_REPLAY.
+  /// Circuits wider than BatchedDensityMatrix::kMaxQubits always take the
+  /// per-sample path (lane scratch is dim^2 * kLanes entries).
   std::vector<std::vector<double>> run_z_batch(
       std::span<const std::vector<double>> xs, int shots = 0,
-      std::uint64_t shot_seed = 99, ThreadPool* pool = nullptr) const;
+      std::uint64_t shot_seed = 99, ThreadPool* pool = nullptr,
+      BatchReplay replay = BatchReplay::kAuto) const;
 
   /// Final density matrix (before readout error) via the legacy gate-by-gate
   /// walk. Reference path for the compiled engine's equivalence tests.
@@ -119,9 +131,29 @@ class PureExecutor {
   std::vector<double> run_z(std::span<const double> x,
                             std::span<const double> theta = {}) const;
 
+  /// Batched run_z: full blocks of BatchedStateVector::kLanes samples replay
+  /// through the SoA lane engine (one pass of the op stream per block) and
+  /// the ragged tail falls back to per-sample run_z, all spread over `pool`
+  /// (nullptr = the process-global pool). `replay` picks the engine —
+  /// kScalar is the 1e-10-pinned per-sample reference, kAuto honours the
+  /// QUCAD_SCALAR_REPLAY kill switch. Every row is validated against the
+  /// program's input arity up front, on the calling thread.
+  std::vector<std::vector<double>> run_z_batch(
+      std::span<const std::vector<double>> xs,
+      std::span<const double> theta = {}, ThreadPool* pool = nullptr,
+      BatchReplay replay = BatchReplay::kAuto) const;
+
   /// Replays the compiled forward pass into caller-owned scratch.
   void run_state(StateVector& sv, std::span<const double> x,
                  std::span<const double> theta = {}) const;
+
+  /// Lane forward pass into caller-owned SoA scratch: `xs[lane]` must hold
+  /// at least program().num_inputs() entries (callers validate — see
+  /// CompiledProgram::run_pure_lanes).
+  void run_state_lanes(
+      BatchedStateVector& bsv,
+      const std::array<const double*, BatchedStateVector::kLanes>& xs,
+      std::span<const double> theta = {}) const;
 
   /// Compiled adjoint pass (see sim/compiled_adjoint.hpp). Pass a per-thread
   /// workspace to make batched gradient loops allocation-free.
@@ -129,6 +161,15 @@ class PureExecutor {
                         std::span<const double> x,
                         const ObservableWeightFn& weight_fn,
                         AdjointWorkspace* workspace = nullptr) const;
+
+  /// Lane adjoint pass over kLanes samples at once (see
+  /// sim/compiled_adjoint.hpp) — the gradient engine behind the batched
+  /// batch_loss_grad path. Same scratch-threading contract as adjoint().
+  LaneAdjointResult adjoint_lanes(
+      std::span<const double> theta,
+      const std::array<const double*, BatchedStateVector::kLanes>& xs,
+      const LaneObservableWeightFn& weight_fn,
+      LaneAdjointWorkspace* workspace = nullptr) const;
 
   int num_trainable() const { return program_.num_trainable(); }
   const PhysicalCircuit& circuit() const { return circuit_; }

@@ -103,16 +103,33 @@ TEST(Rng, ForkIndependence) {
 TEST(Stats, MeanVarianceMedian) {
   const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
   EXPECT_DOUBLE_EQ(mean(xs), 2.5);
-  EXPECT_DOUBLE_EQ(variance(xs), 1.25);
+  // Bessel-corrected sample variance: sum of squared deviations
+  // (2.25 + 0.25 + 0.25 + 2.25) = 5, over N-1 = 3.
+  EXPECT_DOUBLE_EQ(variance(xs), 5.0 / 3.0);
   EXPECT_DOUBLE_EQ(median(xs), 2.5);
   const std::vector<double> odd{3.0, 1.0, 2.0};
   EXPECT_DOUBLE_EQ(median(odd), 2.0);
 }
 
-TEST(Stats, EmptyInputs) {
-  EXPECT_DOUBLE_EQ(mean({}), 0.0);
-  EXPECT_DOUBLE_EQ(variance({}), 0.0);
-  EXPECT_DOUBLE_EQ(median({}), 0.0);
+TEST(Stats, VarianceIsBesselCorrected) {
+  // Hand-computed: mean 4, deviations {-2, 0, 2}, SS = 8, n-1 = 2.
+  const std::vector<double> xs{2.0, 4.0, 6.0};
+  EXPECT_DOUBLE_EQ(variance(xs), 4.0);
+  EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+  // A single point carries no spread information: exactly 0, not 0/0.
+  EXPECT_DOUBLE_EQ(variance(std::vector<double>{7.0}), 0.0);
+}
+
+TEST(Stats, EmptyInputsThrow) {
+  // One contract for every reduction: empty input is a caller bug, not a
+  // silent 0 (which reads as a perfect latency / flat gradient upstream).
+  EXPECT_THROW(mean({}), PreconditionError);
+  EXPECT_THROW(variance({}), PreconditionError);
+  EXPECT_THROW(stddev({}), PreconditionError);
+  EXPECT_THROW(median({}), PreconditionError);
+  EXPECT_THROW(min_value({}), PreconditionError);
+  EXPECT_THROW(max_value({}), PreconditionError);
+  EXPECT_THROW(argmax({}), PreconditionError);
 }
 
 TEST(Stats, PearsonPerfectCorrelation) {
