@@ -9,15 +9,18 @@
 //      {"name", "params", "iters", "seconds", "throughput", "unit"}, ...]}
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <fstream>
+#include <future>
 #include <iostream>
 #include <span>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -503,6 +506,98 @@ HammerResult hammer_submit(qucad::InferenceService& service,
   return result;
 }
 
+/// Async load generator for the sharded admission-controlled service:
+/// `clients` threads each fire `per_client` submit_async requests in bursts
+/// of `burst` and gather the futures. Latency is submission -> future
+/// resolution for EVERY outcome — a shed or expired request that resolves in
+/// microseconds is exactly the admission-control property the saturation
+/// records gate (the alternative, unbounded queueing, would stretch every
+/// response). Served / shed / expired are counted separately; any other
+/// error fails the bench.
+struct AsyncHammerResult {
+  double seconds = 0.0;
+  std::int64_t served = 0;
+  std::int64_t shed = 0;     // kResourceExhausted at admission
+  std::int64_t expired = 0;  // kDeadlineExceeded while queued
+  double p50 = 0.0;          // response time over all outcomes
+  double p99 = 0.0;
+};
+
+AsyncHammerResult hammer_async(qucad::InferenceService& service,
+                               std::span<const std::vector<double>> pool,
+                               int clients, int per_client, int burst) {
+  std::vector<std::vector<double>> latencies(
+      static_cast<std::size_t>(clients));
+  std::vector<qucad::Status> failures(static_cast<std::size_t>(clients));
+  std::atomic<std::int64_t> served{0};
+  std::atomic<std::int64_t> shed{0};
+  std::atomic<std::int64_t> expired{0};
+
+  const auto start = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      auto& lat = latencies[static_cast<std::size_t>(c)];
+      lat.reserve(static_cast<std::size_t>(per_client));
+      std::vector<std::pair<Clock::time_point,
+                            std::future<qucad::StatusOr<qucad::Prediction>>>>
+          in_flight;
+      in_flight.reserve(static_cast<std::size_t>(burst));
+      for (int r = 0; r < per_client; r += burst) {
+        in_flight.clear();
+        const int n = std::min(burst, per_client - r);
+        for (int b = 0; b < n; ++b) {
+          const std::vector<double>& x =
+              pool[static_cast<std::size_t>(c * per_client + r + b) %
+                   pool.size()];
+          in_flight.emplace_back(Clock::now(), service.submit_async(x));
+        }
+        for (auto& [t0, future] : in_flight) {
+          const qucad::StatusOr<qucad::Prediction> result = future.get();
+          lat.push_back(
+              std::chrono::duration<double>(Clock::now() - t0).count());
+          if (result.ok()) {
+            served.fetch_add(1, std::memory_order_relaxed);
+          } else if (result.status().code() ==
+                     qucad::StatusCode::kResourceExhausted) {
+            shed.fetch_add(1, std::memory_order_relaxed);
+          } else if (result.status().code() ==
+                     qucad::StatusCode::kDeadlineExceeded) {
+            expired.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            failures[static_cast<std::size_t>(c)] = result.status();
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const qucad::Status& status : failures) {
+    if (!status.ok()) {
+      qucad::require(false,
+                     "serving bench: submit_async failed: " + status.to_string());
+    }
+  }
+
+  AsyncHammerResult result;
+  result.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  result.served = served.load();
+  result.shed = shed.load();
+  result.expired = expired.load();
+  std::vector<double> merged;
+  for (const auto& lat : latencies) {
+    merged.insert(merged.end(), lat.begin(), lat.end());
+  }
+  std::sort(merged.begin(), merged.end());
+  if (!merged.empty()) {
+    result.p50 = merged[merged.size() / 2];
+    result.p99 = merged[(merged.size() * 99) / 100];
+  }
+  return result;
+}
+
 /// The serving-layer record group: the micro-batched InferenceService
 /// against the naive pre-serving deployment (a sequential loop calling
 /// noisy_evaluate once per arriving request), plus concurrent-client
@@ -601,6 +696,74 @@ std::vector<Record> serving_benches() {
         latency.throughput = value > 0.0 ? 1.0 / value : 0.0;
         latency.unit = "1/sec (inverse latency)";
         records.push_back(latency);
+      }
+    }
+  }
+
+  // --- sharded async saturation sweep -------------------------------------
+  // The production shape: 4 shards, bounded 32-deep queues, a 500ms
+  // deadline budget, async submission in bursts. At low client counts the
+  // records measure routed micro-batched throughput; at 64 clients the
+  // p50/p99 records gate tail latency; at 256 clients the service is
+  // deliberately oversubscribed (2048 near-simultaneous requests against
+  // 128 queue slots) and the gate flips: serve_shed_rate asserts admission
+  // control ENGAGES (sheds with kResourceExhausted instead of queueing
+  // unboundedly) and serve_async_p99 asserts every response — served, shed
+  // or expired — still resolves inside a bounded envelope.
+  {
+    const ServiceConfig async_config =
+        ServiceConfig::from_environment(env)
+            .with_num_shards(4)
+            .with_queue_capacity(32)
+            .with_deadline_budget(std::chrono::milliseconds(500));
+    StatusOr<InferenceService> sharded =
+        InferenceService::create(env, {}, calib, async_config);
+    require(sharded.ok(), sharded.status().to_string());
+    const std::string sharded_params = params + ",shards=4";
+
+    for (const int clients : {1, 8, 64, 256}) {
+      const int per_client = clients == 1 ? 64 : clients == 8 ? 24 : 8;
+      const AsyncHammerResult h =
+          hammer_async(*sharded, requests, clients, per_client, /*burst=*/4);
+      const std::string cparams =
+          sharded_params + ",clients=" + std::to_string(clients);
+      const std::int64_t total = h.served + h.shed + h.expired;
+
+      Record throughput;
+      throughput.name = "serve_async_submit";
+      throughput.params = cparams;
+      throughput.iters = h.served;
+      throughput.seconds = h.seconds;
+      throughput.throughput = static_cast<double>(h.served) / h.seconds;
+      throughput.unit = "served requests/sec";
+      records.push_back(throughput);
+
+      if (clients == 64 || clients == 256) {
+        for (const auto& [name, value] :
+             {std::pair<const char*, double>{"serve_async_p50", h.p50},
+              std::pair<const char*, double>{"serve_async_p99", h.p99}}) {
+          Record latency;
+          latency.name = name;
+          latency.params = cparams;
+          latency.iters = total;
+          latency.seconds = value;
+          latency.throughput = value > 0.0 ? 1.0 / value : 0.0;
+          latency.unit = "1/sec (inverse response time)";
+          records.push_back(latency);
+        }
+      }
+      if (clients == 256) {
+        Record shed_rate;
+        shed_rate.name = "serve_shed_rate";
+        shed_rate.params = cparams;
+        shed_rate.iters = total;
+        shed_rate.seconds = h.seconds;
+        shed_rate.throughput =
+            total > 0 ? static_cast<double>(h.shed + h.expired) /
+                            static_cast<double>(total)
+                      : 0.0;
+        shed_rate.unit = "refused fraction (shed + expired)";
+        records.push_back(shed_rate);
       }
     }
   }

@@ -2,12 +2,17 @@
 // shape. A seismic-event detector QNN serves classification requests on a
 // drifting quantum backend through qucad::InferenceService: the offline-
 // built repository answers each morning's calibration (reuse / compress a
-// new model / Guidance-2 failure report) with an atomic hot-swap of the
-// compiled executor, and the day's requests are micro-batched through the
-// swapped-in program. Compare src/core/strategies.hpp for the research-
-// harness shape of the same loop.
+// new model / Guidance-2 failure report) with a shard-by-shard hot-swap of
+// the compiled executor, and the day's requests arrive as independent
+// submit_async() calls — routed across shards, micro-batched per shard,
+// admission-controlled (bounded queues + a per-request deadline budget),
+// with repeated sensor readings answered from the epoch-keyed result
+// cache. Compare src/core/strategies.hpp for the research-harness shape of
+// the same loop.
 
+#include <future>
 #include <iostream>
+#include <vector>
 
 #include "common/table.hpp"
 #include "core/qucad.hpp"
@@ -55,9 +60,20 @@ int main() {
   // The service owns copies of the model, routing, training data and the
   // repository; the setup objects above can go out of scope. create()
   // validates and returns a Status instead of aborting the process.
+  // Production shape: two shards (each with its own micro-batch dispatcher
+  // and bounded queue), a deadline budget generous enough for an epoch's
+  // first (compile-carrying) sweep but bounding tail latency under real
+  // saturation, and a result cache that answers repeated sensor readings
+  // without a compiled sweep.
+  const ServiceConfig serving_config =
+      ServiceConfig::from_environment(env)
+          .with_num_shards(2)
+          .with_queue_capacity(256)
+          .with_deadline_budget(std::chrono::seconds(2))
+          .with_result_cache(512);
   const int start = CalibrationHistory::kOfflineDays;
   StatusOr<InferenceService> service = InferenceService::create(
-      env, std::move(build.repository), history.day(start));
+      env, std::move(build.repository), history.day(start), serving_config);
   if (!service.ok()) {
     std::cerr << "cannot start serving: " << service.status().to_string()
               << "\n";
@@ -81,17 +97,35 @@ int main() {
     }
     if (day % 3 != 0) continue;
 
-    // The day's traffic: the whole test set as one micro-batched sweep.
-    const StatusOr<std::vector<Prediction>> predictions =
-        service->submit_batch(env.test.features);
-    if (!predictions.ok()) {
-      std::cerr << "serving failed: " << predictions.status().to_string()
-                << "\n";
-      return 1;
+    // The day's traffic: every sensor reading is an independent async
+    // submission — the router spreads them across the shards and each
+    // shard's dispatcher coalesces concurrent arrivals into compiled
+    // sweeps. A full queue would resolve the future with
+    // kResourceExhausted; an expired deadline with kDeadlineExceeded.
+    std::vector<std::future<StatusOr<Prediction>>> in_flight;
+    in_flight.reserve(env.test.size());
+    for (const std::vector<double>& x : env.test.features) {
+      in_flight.push_back(service->submit_async(x));
     }
     std::size_t correct = 0;
-    for (std::size_t i = 0; i < predictions->size(); ++i) {
-      if ((*predictions)[i].label == env.test.labels[i]) ++correct;
+    std::size_t refused = 0;
+    for (std::size_t i = 0; i < in_flight.size(); ++i) {
+      const StatusOr<Prediction> prediction = in_flight[i].get();
+      if (!prediction.ok()) {
+        // Admission control refusing work under overload is an expected
+        // serving outcome, not a setup error — count it and move on.
+        ++refused;
+        continue;
+      }
+      if (prediction->label == env.test.labels[i]) ++correct;
+    }
+    // A monitoring probe resubmitting today's first reading: the day's
+    // sweep already populated the epoch-keyed result cache, so this is
+    // answered without queueing or re-execution.
+    (void)service->submit(env.test.features[0]);
+    if (refused > 0) {
+      std::cerr << history.date_string(day) << ": " << refused
+                << " requests refused by admission control\n";
     }
 
     const char* decision = "reused";
@@ -100,8 +134,10 @@ int main() {
     } else if (!report->failure.ok()) {
       decision = "FAILURE report (kept last model)";
     }
+    // repository_snapshot() is the synchronized view — safe even if this
+    // loop shared the service with live calibration threads.
     log.add_row({history.date_string(day), decision,
-                 std::to_string(service->manager().repository().size()) +
+                 std::to_string(service->repository_snapshot().entries) +
                      " in repo",
                  fmt_pct(static_cast<double>(correct) /
                          static_cast<double>(env.test.size()))});
@@ -110,9 +146,13 @@ int main() {
 
   const ServingStats stats = service->stats();
   std::cout << "\nserved " << stats.requests << " requests over 90 days in "
-            << stats.batches << " compiled sweeps; " << stats.compressions
-            << " online compressions, " << stats.reuses << " repository reuses, "
-            << stats.failures << " failure reports, " << stats.swaps
-            << " epoch swaps\n";
+            << stats.batches << " compiled sweeps (" << stats.coalesced
+            << " coalesced); " << stats.cache_hits << "/"
+            << stats.cache_lookups << " result-cache hits, " << stats.shed
+            << " shed, " << stats.deadline_misses << " deadline misses\n"
+            << stats.compressions << " online compressions, " << stats.reuses
+            << " repository reuses, " << stats.failures
+            << " failure reports, " << stats.swaps << " epoch swaps across "
+            << service->shard_stats().size() << " shards\n";
   return 0;
 }

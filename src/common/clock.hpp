@@ -1,0 +1,54 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace qucad {
+
+/// Injectable monotonic time source. Production code reads
+/// `Clock::system()` (std::chrono::steady_clock); deadline logic takes a
+/// `const Clock*` so tests can drive time deterministically with a
+/// ManualClock instead of sleeping and hoping (the admission controller's
+/// deadline-budget checks are the motivating consumer).
+class Clock {
+ public:
+  using Duration = std::chrono::steady_clock::duration;
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  virtual ~Clock() = default;
+  virtual TimePoint now() const = 0;
+
+  /// The process-wide wall source (steady_clock).
+  static const Clock& system();
+};
+
+/// Test clock: time only moves when the test says so. Thread-safe — readers
+/// may race advance() and observe either side of the step, never a torn
+/// value.
+class ManualClock final : public Clock {
+ public:
+  ManualClock() = default;
+
+  TimePoint now() const override {
+    return TimePoint(Duration(ticks_.load(std::memory_order_acquire)));
+  }
+
+  void advance(Duration by) {
+    ticks_.fetch_add(by.count(), std::memory_order_acq_rel);
+  }
+
+ private:
+  std::atomic<std::int64_t> ticks_{0};
+};
+
+inline const Clock& Clock::system() {
+  class SystemClock final : public Clock {
+   public:
+    TimePoint now() const override { return std::chrono::steady_clock::now(); }
+  };
+  static const SystemClock clock;
+  return clock;
+}
+
+}  // namespace qucad

@@ -20,6 +20,8 @@ enum class StatusCode {
   kFailedPrecondition,  // object state does not admit the operation
   kNotFound,            // referenced entity does not exist
   kUnavailable,         // transient: no trustworthy result right now
+  kResourceExhausted,   // load shed: a bounded queue/budget is full
+  kDeadlineExceeded,    // the request's deadline budget elapsed unserved
   kInternal,            // invariant violation inside the library
 };
 
@@ -31,6 +33,8 @@ inline const char* status_code_name(StatusCode code) {
     case StatusCode::kFailedPrecondition: return "failed_precondition";
     case StatusCode::kNotFound: return "not_found";
     case StatusCode::kUnavailable: return "unavailable";
+    case StatusCode::kResourceExhausted: return "resource_exhausted";
+    case StatusCode::kDeadlineExceeded: return "deadline_exceeded";
     case StatusCode::kInternal: return "internal";
   }
   return "unknown";
@@ -54,6 +58,12 @@ class [[nodiscard]] Status {
   }
   static Status unavailable(std::string message) {
     return Status(StatusCode::kUnavailable, std::move(message));
+  }
+  static Status resource_exhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  static Status deadline_exceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
   }
   static Status internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));

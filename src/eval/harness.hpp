@@ -20,6 +20,13 @@ struct HarnessOptions {
   /// shift with hardware-like finite-shot readout, or kPureStatevector for
   /// the noise-free ceiling.
   std::optional<BackendConfig> backend;
+  /// Concurrent submitters the SERVING longitudinal harness
+  /// (run_longitudinal over an InferenceService) uses to push each day's
+  /// test set through submit_async — exercises routing, micro-batching and
+  /// admission under the daily evaluation. Expectation backends make the
+  /// accuracy series independent of this knob. Ignored by the strategy
+  /// harness. Must be >= 1.
+  int serve_clients = 1;
 };
 
 /// Runs one strategy over the online calibration window: offline() on the

@@ -1,39 +1,17 @@
 #include "serve/inference_service.hpp"
 
 #include <algorithm>
-#include <condition_variable>
-#include <deque>
-#include <future>
+#include <atomic>
+#include <limits>
 #include <mutex>
 #include <thread>
 #include <utility>
 
 #include "backend/registry.hpp"
 #include "common/require.hpp"
-#include "common/stats.hpp"
-#include "qnn/evaluator.hpp"
+#include "serve/result_cache.hpp"
 
 namespace qucad {
-
-namespace {
-
-/// One immutable serving snapshot. Hot-swap replaces the shared_ptr; batches
-/// that already hold a snapshot finish on it untouched.
-struct Epoch {
-  std::uint64_t id = 0;
-  std::vector<double> theta;
-  Calibration calibration;
-  /// The compiled execution regime of this epoch (ServiceConfig's
-  /// eval.backend, built through BackendRegistry — density by default).
-  std::shared_ptr<const ExecutionBackend> backend;
-};
-
-struct PendingRequest {
-  std::vector<double> features;
-  std::promise<StatusOr<Prediction>> promise;
-};
-
-}  // namespace
 
 struct InferenceService::Impl {
   // Only the members the serving path reads live here. The OnlineManager
@@ -48,22 +26,31 @@ struct InferenceService::Impl {
   OnlineManager manager;
   std::size_t min_features = 0;  // encoder input arity
 
-  // --- epoch state -------------------------------------------------------
-  mutable std::mutex epoch_mutex;
-  std::shared_ptr<const Epoch> active;  // never null after create()
-  std::uint64_t next_epoch_id = 1;
-  std::mutex admin_mutex;  // serializes on_calibration events
+  // --- sharded serving plane ---------------------------------------------
+  AdmissionController admission;
+  ResultCache cache;
+  // Stable addresses: shards hold references to config/admission/cache and
+  // run dispatcher threads, so they live behind unique_ptr and are neither
+  // copied nor reallocated after create().
+  std::vector<std::unique_ptr<ServingShard>> shards;
 
-  // --- micro-batcher -----------------------------------------------------
-  std::mutex queue_mutex;
-  std::condition_variable queue_cv;
-  std::deque<PendingRequest> queue;
-  bool stopping = false;
-  std::thread dispatcher;
+  // --- epoch state -------------------------------------------------------
+  // Shards each hold their own epoch pointer; this is the service-level
+  // view (what active_epoch()/active_theta() report after a broadcast).
+  mutable std::mutex epoch_mutex;
+  std::uint64_t current_epoch_id = 0;
+  std::vector<double> current_theta;
+  std::uint64_t next_epoch_id = 1;
+  mutable std::mutex admin_mutex;  // serializes on_calibration events
 
   // --- monitoring --------------------------------------------------------
+  // Calibration-event counters; the serving-path counters live on the
+  // shards (submit_batch sweeps are counted by the shard that ran them).
   mutable std::mutex stats_mutex;
-  ServingStats counters;
+  std::uint64_t swaps = 0;
+  std::uint64_t reuses = 0;
+  std::uint64_t compressions = 0;
+  std::uint64_t failures = 0;
 
   Impl(Environment env, ModelRepository repository, ServiceConfig config_in)
       : model(std::move(env.model)),
@@ -72,16 +59,19 @@ struct InferenceService::Impl {
         config(std::move(config_in)),
         manager(model, transpiled, theta_pretrained, env.train,
                 std::move(repository), config.manager),
-        min_features(static_cast<std::size_t>(model.num_inputs())) {}
-
-  ~Impl() {
-    {
-      std::lock_guard<std::mutex> lock(queue_mutex);
-      stopping = true;
+        min_features(static_cast<std::size_t>(model.num_inputs())),
+        admission(config.deadline_budget),
+        cache(config.result_cache_capacity, config.result_cache_quantum) {
+    shards.reserve(config.num_shards);
+    for (std::size_t s = 0; s < config.num_shards; ++s) {
+      shards.push_back(std::make_unique<ServingShard>(
+          s, config, admission, cache.enabled() ? &cache : nullptr));
     }
-    queue_cv.notify_all();
-    if (dispatcher.joinable()) dispatcher.join();
   }
+
+  // Shards close their queues and join their dispatchers in ~ServingShard;
+  // nothing else to unwind.
+  ~Impl() = default;
 
   std::shared_ptr<const ExecutionBackend> build_backend(
       std::span<const double> theta, const Calibration& calibration) const {
@@ -103,23 +93,34 @@ struct InferenceService::Impl {
     return *std::move(backend);
   }
 
-  std::shared_ptr<const Epoch> load_epoch() const {
-    std::lock_guard<std::mutex> lock(epoch_mutex);
-    return active;
-  }
-
-  /// Installs a fully-built epoch as the active one. The only writer of
-  /// `active`; callers hold admin_mutex (or are create()).
+  /// Builds the next epoch and broadcasts it shard by shard: every shard
+  /// gets its own backend instance for the same (theta, calibration) —
+  /// resolved through the registry, sharing the compiled program via the
+  /// executor cache — under ONE epoch id. A shard that is mid-sweep keeps
+  /// its old snapshot until the batch finishes; shards are updated in
+  /// index order, so during the broadcast early shards already serve the
+  /// new epoch while late shards still serve the old one, and every
+  /// prediction names whichever it ran on. The only writer of epoch state;
+  /// callers hold admin_mutex (or are create()).
   std::uint64_t install_epoch(std::vector<double> theta,
                               const Calibration& calibration) {
-    auto epoch = std::make_shared<Epoch>();
-    epoch->theta = std::move(theta);
-    epoch->calibration = calibration;
-    epoch->backend = build_backend(epoch->theta, calibration);
+    std::uint64_t id = 0;
+    {
+      std::lock_guard<std::mutex> lock(epoch_mutex);
+      id = next_epoch_id++;
+    }
+    for (const std::unique_ptr<ServingShard>& shard : shards) {
+      auto epoch = std::make_shared<Epoch>();
+      epoch->id = id;
+      epoch->theta = theta;
+      epoch->calibration = calibration;
+      epoch->backend = build_backend(epoch->theta, calibration);
+      shard->install_epoch(std::move(epoch));
+    }
     std::lock_guard<std::mutex> lock(epoch_mutex);
-    epoch->id = next_epoch_id++;
-    active = std::move(epoch);
-    return active->id;
+    current_epoch_id = id;
+    current_theta = std::move(theta);
+    return id;
   }
 
   Status validate_features(const std::vector<double>& features) const {
@@ -131,88 +132,26 @@ struct InferenceService::Impl {
     return Status();
   }
 
-  /// Runs one compiled sweep over `features` on the given epoch's backend.
-  /// Expectation backends make the result independent of how requests were
-  /// grouped.
-  std::vector<Prediction> run_batch(const Epoch& epoch,
-                                    std::span<const std::vector<double>> features) {
-    std::vector<std::vector<double>> zs =
-        epoch.backend->run_logits_batch(features, config.eval.pool);
-    std::vector<Prediction> predictions(zs.size());
-    for (std::size_t i = 0; i < zs.size(); ++i) {
-      predictions[i].label = static_cast<int>(argmax(zs[i]));
-      predictions[i].logits = std::move(zs[i]);
-      predictions[i].epoch = epoch.id;
-      predictions[i].backend = epoch.backend->kind();
+  /// Least-loaded shard, ties broken by the deterministic feature hash —
+  /// or pure hash routing when configured.
+  ServingShard& route(const std::vector<double>& features) {
+    const std::size_t by_hash = route_by_hash(features, shards.size());
+    if (config.routing == ServiceConfig::RoutingPolicy::kHash ||
+        shards.size() == 1) {
+      return *shards[by_hash];
     }
-    {
-      std::lock_guard<std::mutex> lock(stats_mutex);
-      ++counters.batches;
-      counters.requests += zs.size();
-    }
-    return predictions;
-  }
-
-  /// Dispatcher body: coalesce waiting submit() requests into one sweep.
-  void dispatch_loop() {
-    std::unique_lock<std::mutex> lock(queue_mutex);
-    for (;;) {
-      queue_cv.wait(lock, [&] { return stopping || !queue.empty(); });
-      if (queue.empty()) return;  // stopping with nothing left to drain
-
-      // First request in hand: wait up to batch_window for stragglers so
-      // concurrent callers share one compiled sweep.
-      if (config.batch_window.count() > 0 &&
-          queue.size() < config.max_batch_size && !stopping) {
-        const auto deadline =
-            std::chrono::steady_clock::now() + config.batch_window;
-        while (queue.size() < config.max_batch_size && !stopping) {
-          if (queue_cv.wait_until(lock, deadline) ==
-              std::cv_status::timeout) {
-            break;
-          }
-        }
-      }
-
-      const std::size_t take = std::min(queue.size(), config.max_batch_size);
-      std::vector<PendingRequest> batch;
-      batch.reserve(take);
-      for (std::size_t i = 0; i < take; ++i) {
-        batch.push_back(std::move(queue.front()));
-        queue.pop_front();
-      }
-      lock.unlock();
-      serve_pending(batch);
-      lock.lock();
-    }
-  }
-
-  void serve_pending(std::vector<PendingRequest>& batch) {
-    const std::shared_ptr<const Epoch> epoch = load_epoch();
-    std::vector<std::vector<double>> features;
-    features.reserve(batch.size());
-    for (PendingRequest& request : batch) {
-      features.push_back(std::move(request.features));
-    }
-    try {
-      std::vector<Prediction> predictions = run_batch(*epoch, features);
-      if (batch.size() > 1) {
-        // Count before fulfilling: a caller that reads stats() right after
-        // its future resolves must already see its own coalescing.
-        std::lock_guard<std::mutex> lock(stats_mutex);
-        counters.coalesced += batch.size();
-      }
-      for (std::size_t i = 0; i < batch.size(); ++i) {
-        batch[i].promise.set_value(std::move(predictions[i]));
-      }
-    } catch (const std::exception& e) {
-      // Features were validated at submit(); anything thrown here is a
-      // library invariant failure. Fail the batch, keep the service up.
-      for (PendingRequest& request : batch) {
-        request.promise.set_value(
-            Status::internal(std::string("batch sweep failed: ") + e.what()));
+    std::size_t best = by_hash;
+    std::size_t best_depth = std::numeric_limits<std::size_t>::max();
+    for (std::size_t s = 0; s < shards.size(); ++s) {
+      const std::size_t depth = shards[s]->queue_depth();
+      if (depth < best_depth) {
+        best = s;
+        best_depth = depth;
+      } else if (depth == best_depth && s == by_hash) {
+        best = s;  // hash fallback wins ties deterministically
       }
     }
+    return *shards[best];
   }
 };
 
@@ -254,9 +193,11 @@ StatusOr<InferenceService> InferenceService::create(
   }
   {
     std::lock_guard<std::mutex> lock(impl->stats_mutex);
-    ++impl->counters.swaps;
+    ++impl->swaps;
   }
-  impl->dispatcher = std::thread([raw = impl.get()] { raw->dispatch_loop(); });
+  for (const std::unique_ptr<ServingShard>& shard : impl->shards) {
+    shard->start();
+  }
   return InferenceService(std::move(impl));
 }
 
@@ -268,23 +209,32 @@ InferenceService::InferenceService(InferenceService&&) noexcept = default;
 InferenceService& InferenceService::operator=(InferenceService&&) noexcept =
     default;
 
-StatusOr<Prediction> InferenceService::submit(std::vector<double> features) {
+std::future<StatusOr<Prediction>> InferenceService::submit_async(
+    std::vector<double> features) {
   if (Status status = impl_->validate_features(features); !status.ok()) {
-    return status;
+    std::promise<StatusOr<Prediction>> rejected;
+    rejected.set_value(std::move(status));
+    return rejected.get_future();
   }
-  std::future<StatusOr<Prediction>> result;
-  {
-    std::lock_guard<std::mutex> lock(impl_->queue_mutex);
-    if (impl_->stopping) {
-      return Status::unavailable("service is shutting down");
+  ServingShard& shard = impl_->route(features);
+  if (impl_->cache.enabled()) {
+    // Answer repeats from the shard's CURRENT epoch without queueing. The
+    // key carries the epoch id, so a cached answer is exactly what this
+    // epoch's sweep would compute (bitwise, for expectation backends) and
+    // a hot-swap invalidates by construction.
+    const std::shared_ptr<const Epoch> epoch = shard.epoch();
+    if (std::optional<Prediction> hit =
+            impl_->cache.lookup(epoch->id, features)) {
+      std::promise<StatusOr<Prediction>> cached;
+      cached.set_value(*std::move(hit));
+      return cached.get_future();
     }
-    PendingRequest request;
-    request.features = std::move(features);
-    result = request.promise.get_future();
-    impl_->queue.push_back(std::move(request));
   }
-  impl_->queue_cv.notify_all();
-  return result.get();
+  return shard.enqueue(std::move(features));
+}
+
+StatusOr<Prediction> InferenceService::submit(std::vector<double> features) {
+  return submit_async(std::move(features)).get();
 }
 
 StatusOr<std::vector<Prediction>> InferenceService::submit_batch(
@@ -295,9 +245,13 @@ StatusOr<std::vector<Prediction>> InferenceService::submit_batch(
       return status;
     }
   }
-  const std::shared_ptr<const Epoch> epoch = impl_->load_epoch();
+  // A caller-assembled batch bypasses queue and window: one sweep on the
+  // routed shard's current epoch snapshot (all shards converge to the same
+  // epoch outside an in-flight broadcast).
+  ServingShard& shard = impl_->route(batch.front());
+  const std::shared_ptr<const Epoch> epoch = shard.epoch();
   try {
-    return impl_->run_batch(*epoch, batch);
+    return shard.run_batch(*epoch, batch);
   } catch (const std::exception& e) {
     return Status::internal(std::string("batch sweep failed: ") + e.what());
   }
@@ -327,11 +281,9 @@ StatusOr<CalibrationReport> InferenceService::on_calibration(
   {
     std::lock_guard<std::mutex> lock(impl_->stats_mutex);
     using Action = OnlineManager::Decision::Action;
-    if (report.decision.action == Action::Reuse) ++impl_->counters.reuses;
-    if (report.decision.action == Action::NewModel) {
-      ++impl_->counters.compressions;
-    }
-    if (report.decision.action == Action::Failure) ++impl_->counters.failures;
+    if (report.decision.action == Action::Reuse) ++impl_->reuses;
+    if (report.decision.action == Action::NewModel) ++impl_->compressions;
+    if (report.decision.action == Action::Failure) ++impl_->failures;
   }
 
   const StatusOr<std::span<const double>> theta =
@@ -363,22 +315,67 @@ StatusOr<CalibrationReport> InferenceService::on_calibration(
   report.swapped = true;
   {
     std::lock_guard<std::mutex> lock(impl_->stats_mutex);
-    ++impl_->counters.swaps;
+    ++impl_->swaps;
   }
   return report;
 }
 
 std::uint64_t InferenceService::active_epoch() const {
-  return impl_->load_epoch()->id;
+  std::lock_guard<std::mutex> lock(impl_->epoch_mutex);
+  return impl_->current_epoch_id;
 }
 
 std::vector<double> InferenceService::active_theta() const {
-  return impl_->load_epoch()->theta;
+  std::lock_guard<std::mutex> lock(impl_->epoch_mutex);
+  return impl_->current_theta;
 }
 
 ServingStats InferenceService::stats() const {
-  std::lock_guard<std::mutex> lock(impl_->stats_mutex);
-  return impl_->counters;
+  ServingStats stats;
+  {
+    std::lock_guard<std::mutex> lock(impl_->stats_mutex);
+    stats.swaps = impl_->swaps;
+    stats.reuses = impl_->reuses;
+    stats.compressions = impl_->compressions;
+    stats.failures = impl_->failures;
+  }
+  for (const std::unique_ptr<ServingShard>& shard : impl_->shards) {
+    const ShardStats s = shard->stats();
+    stats.requests += s.requests;
+    stats.batches += s.batches;
+    stats.coalesced += s.coalesced;
+    stats.shed += s.shed;
+    stats.deadline_misses += s.deadline_misses;
+    stats.queue_depth += s.queue_depth;
+  }
+  stats.cache_hits = impl_->cache.hits();
+  stats.cache_lookups = impl_->cache.lookups();
+  // Cache hits short-circuit the shards, but they are served requests all
+  // the same.
+  stats.requests += stats.cache_hits;
+  return stats;
+}
+
+std::vector<ShardStats> InferenceService::shard_stats() const {
+  std::vector<ShardStats> stats;
+  stats.reserve(impl_->shards.size());
+  for (const std::unique_ptr<ServingShard>& shard : impl_->shards) {
+    stats.push_back(shard->stats());
+  }
+  return stats;
+}
+
+RepositorySnapshot InferenceService::repository_snapshot() const {
+  // The calibration lock serializes against on_calibration: the snapshot
+  // can never observe a half-applied repository decision.
+  std::lock_guard<std::mutex> admin(impl_->admin_mutex);
+  RepositorySnapshot snapshot;
+  snapshot.entries = impl_->manager.repository().size();
+  snapshot.threshold = impl_->manager.repository().threshold();
+  snapshot.optimizations = impl_->manager.optimizations_run();
+  snapshot.reuses = impl_->manager.reuses();
+  snapshot.total_optimize_seconds = impl_->manager.total_optimize_seconds();
+  return snapshot;
 }
 
 const OnlineManager& InferenceService::manager() const {
@@ -390,10 +387,52 @@ MethodResult run_longitudinal(InferenceService& service, const Dataset& test,
                               const HarnessOptions& options) {
   require(!online_days.empty(), "no online days to evaluate");
   require(test.size() > 0, "empty test set");
+  require(options.serve_clients >= 1,
+          "serve_clients must be at least 1");
 
   MethodResult result;
   result.method = "InferenceService";
   result.daily_accuracy.reserve(online_days.size());
+
+  // One day's traffic through the async serving path: `serve_clients`
+  // submitters interleave the test set, each issuing submit_async and
+  // gathering. Shed requests (bounded queue full) are retried with backoff
+  // — the harness wants every sample's answer, so admission control
+  // throttles it rather than dropping samples.
+  const auto classify_day = [&]() -> std::vector<int> {
+    std::vector<int> labels(test.size(), -1);
+    std::vector<Status> failures(
+        static_cast<std::size_t>(options.serve_clients));
+    std::vector<std::thread> clients;
+    clients.reserve(static_cast<std::size_t>(options.serve_clients));
+    for (int c = 0; c < options.serve_clients; ++c) {
+      clients.emplace_back([&, c] {
+        for (std::size_t i = static_cast<std::size_t>(c); i < test.size();
+             i += static_cast<std::size_t>(options.serve_clients)) {
+          for (int attempt = 0;; ++attempt) {
+            StatusOr<Prediction> prediction =
+                service.submit_async(test.features[i]).get();
+            if (prediction.ok()) {
+              labels[i] = prediction->label;
+              break;
+            }
+            if (prediction.status().code() !=
+                    StatusCode::kResourceExhausted ||
+                attempt >= 10000) {
+              failures[static_cast<std::size_t>(c)] = prediction.status();
+              return;
+            }
+            std::this_thread::sleep_for(std::chrono::microseconds(50));
+          }
+        }
+      });
+    }
+    for (std::thread& client : clients) client.join();
+    for (const Status& status : failures) {
+      if (!status.ok()) require(false, status.to_string());
+    }
+    return labels;
+  };
 
   for (std::size_t d = 0; d < online_days.size();
        d += static_cast<std::size_t>(options.day_stride)) {
@@ -406,12 +445,10 @@ MethodResult run_longitudinal(InferenceService& service, const Dataset& test,
       ++result.optimizations;
     }
 
-    const StatusOr<std::vector<Prediction>> predictions =
-        service.submit_batch(test.features);
-    if (!predictions.ok()) require(false, predictions.status().to_string());
+    const std::vector<int> labels = classify_day();
     std::size_t correct = 0;
-    for (std::size_t i = 0; i < predictions->size(); ++i) {
-      if ((*predictions)[i].label == test.labels[i]) ++correct;
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      if (labels[i] == test.labels[i]) ++correct;
     }
     result.daily_accuracy.push_back(static_cast<double>(correct) /
                                     static_cast<double>(test.size()));

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <future>
 #include <memory>
 #include <optional>
 #include <span>
@@ -13,26 +14,9 @@
 #include "eval/metrics.hpp"
 #include "repo/manager.hpp"
 #include "serve/service_config.hpp"
+#include "serve/shard.hpp"
 
 namespace qucad {
-
-/// One classified request.
-struct Prediction {
-  /// argmax over `logits` — the predicted class.
-  int label = -1;
-  /// Class logits, read positionally per the readout-slot contract: entry k
-  /// is `<Z>` of readout slot k (class k), never indexed by qubit id.
-  std::vector<double> logits;
-  /// The serving epoch that produced this prediction. Every request of one
-  /// micro-batch carries the same epoch, and a hot-swap never changes the
-  /// epoch of an in-flight batch.
-  std::uint64_t epoch = 0;
-  /// Execution regime that produced the logits (the epoch's configured
-  /// backend): exact density noise, noise-free statevector, or finite-shot
-  /// sampled readout. Lets downstream consumers weigh a prediction by how
-  /// it was computed.
-  BackendKind backend = BackendKind::kDensityNoisy;
-};
 
 /// What a calibration event did to the service.
 struct CalibrationReport {
@@ -49,15 +33,34 @@ struct CalibrationReport {
   Status failure;
 };
 
-/// Monitoring counters; all reads are thread-safe snapshots.
+/// Monitoring counters; all reads are thread-safe snapshots. Serving-path
+/// counters (requests/batches/coalesced/shed/deadline_misses/queue_depth)
+/// aggregate over every shard plus the direct submit_batch path.
 struct ServingStats {
-  std::uint64_t requests = 0;        ///< submit() + submit_batch() samples
+  std::uint64_t requests = 0;        ///< samples served (submit* variants)
   std::uint64_t batches = 0;         ///< compiled batch sweeps executed
-  std::uint64_t coalesced = 0;       ///< submit() requests that shared a sweep
+  std::uint64_t coalesced = 0;       ///< async requests that shared a sweep
   std::uint64_t swaps = 0;           ///< epochs installed (including the first)
   std::uint64_t reuses = 0;          ///< calibration events answered from the repository
   std::uint64_t compressions = 0;    ///< calibration events that compressed a new model
   std::uint64_t failures = 0;        ///< Guidance-2 failure reports
+  std::uint64_t shed = 0;            ///< requests refused with kResourceExhausted
+  std::uint64_t deadline_misses = 0; ///< requests expired (kDeadlineExceeded) while queued
+  std::uint64_t queue_depth = 0;     ///< instantaneous backlog across all shards
+  std::uint64_t cache_hits = 0;      ///< requests answered from the result cache
+  std::uint64_t cache_lookups = 0;   ///< result-cache probes (hits + misses)
+};
+
+/// Synchronized repository/decision snapshot, taken under the calibration
+/// lock — the supported way for monitoring loops to observe repository
+/// state while on_calibration events race (the `manager()` accessor is NOT
+/// synchronized; see its comment).
+struct RepositorySnapshot {
+  std::size_t entries = 0;            ///< models stored in the repository
+  double threshold = 0.0;             ///< current match threshold
+  int optimizations = 0;              ///< online compressions run so far
+  int reuses = 0;                     ///< days answered by a stored model
+  double total_optimize_seconds = 0.0;///< cumulative online-compression cost
 };
 
 /// Thread-safe online serving surface for a compressed-model repository —
@@ -69,27 +72,36 @@ struct ServingStats {
 ///    ownership of the model, routing, training data and repository BY
 ///    VALUE: the service cannot dangle, whatever the caller does with the
 ///    setup-scope objects it was built from.
-///  - `submit` / `submit_batch` classify feature vectors on the epoch's
-///    compiled ExecutionBackend (the exact density-matrix engine by
-///    default; `ServiceConfig::eval.backend` selects noise-free or
-///    finite-shot sampled serving). Concurrent `submit` callers are
-///    micro-batched:
-///    a dispatcher coalesces up to `max_batch_size` waiting requests
-///    (waiting at most `batch_window` for stragglers) into ONE
-///    `run_z_batch` sweep spread over the shared ThreadPool.
+///  - `submit_async` never blocks on the batch window: the request is
+///    routed to one of `ServiceConfig::num_shards` independent shards
+///    (least-loaded, with a deterministic feature-hash fallback — or pure
+///    hash routing under RoutingPolicy::kHash) and the caller gets a
+///    future. Each shard owns a BOUNDED queue and its own micro-batch
+///    dispatcher: a full queue sheds the request with kResourceExhausted
+///    instead of queuing unboundedly, and a request still queued past
+///    `deadline_budget` fails with kDeadlineExceeded instead of executing
+///    late — under overload the service degrades by refusing work in
+///    microseconds, not by letting tail latency collapse. An optional
+///    epoch-keyed result cache answers repeated (quantized) feature
+///    vectors without queueing at all. `submit` is a thin blocking shim
+///    (`submit_async(...).get()`); `submit_batch` sweeps a caller-assembled
+///    batch directly on one shard's epoch, bypassing queue and window.
 ///  - `on_calibration` runs the repository decision for a new calibration
-///    snapshot (reuse / compress-new / failure report) and atomically
-///    hot-swaps the active compiled backend: epochs are immutable
-///    shared_ptr snapshots, so in-flight batches finish on the program they
-///    started with and every prediction names the epoch that produced it.
+///    snapshot (reuse / compress-new / failure report) and hot-swaps the
+///    compiled backend shard by shard: epochs are immutable shared_ptr
+///    snapshots (same id across shards, per-shard backend instance built
+///    through the registry), so in-flight batches finish on the program
+///    they started with and every prediction names the epoch that produced
+///    it.
 ///
-/// Concurrency contract: `submit`, `submit_batch`, `active_epoch` and
-/// `stats` may be called from any number of threads, concurrently with one
-/// another and with `on_calibration`. `on_calibration` itself is serialized
-/// internally (events are processed one at a time, in arrival order).
-/// `manager()` exposes the underlying repository state for inspection and
-/// is NOT synchronized against concurrent `on_calibration` — monitoring
-/// loops should read `stats()` instead.
+/// Concurrency contract: `submit`, `submit_async`, `submit_batch`,
+/// `active_epoch`, `stats`, `shard_stats` and `repository_snapshot` may be
+/// called from any number of threads, concurrently with one another and
+/// with `on_calibration`. `on_calibration` itself is serialized internally
+/// (events are processed one at a time, in arrival order). `manager()`
+/// exposes the underlying repository object for single-threaded inspection
+/// and is NOT synchronized against concurrent `on_calibration` — monitoring
+/// loops read `stats()` / `repository_snapshot()` instead.
 ///
 /// With an expectation backend (the default exact density engine, or
 /// kPureStatevector) predictions are exact: a request's logits are
@@ -123,10 +135,21 @@ class InferenceService {
   InferenceService(const InferenceService&) = delete;
   InferenceService& operator=(const InferenceService&) = delete;
 
-  /// Classifies one feature vector. Blocks until the result is ready —
-  /// concurrent callers are coalesced into shared compiled sweeps. Returns
-  /// kInvalidArgument for a malformed request (wrong feature arity) and
-  /// kUnavailable once the service is shutting down.
+  /// Classifies one feature vector without blocking on the batch window:
+  /// the request is admission-checked, routed to a shard, and the caller
+  /// gets a future that resolves when the shard's dispatcher sweeps it (or
+  /// immediately, on a result-cache hit). The future carries
+  /// kInvalidArgument for a malformed request (wrong feature arity; never
+  /// enqueued), kResourceExhausted when the routed shard's queue is full
+  /// (shed; never enqueued), kDeadlineExceeded when the request out-waited
+  /// its `deadline_budget` in the queue, and kUnavailable once the service
+  /// is shutting down. The returned future is always valid and always
+  /// resolves — errors arrive through it, not as exceptions.
+  std::future<StatusOr<Prediction>> submit_async(std::vector<double> features);
+
+  /// Blocking shim over submit_async: classifies one feature vector and
+  /// waits for the result. Concurrent callers are coalesced into shared
+  /// compiled sweeps by the shard dispatchers.
   StatusOr<Prediction> submit(std::vector<double> features);
 
   /// Classifies a caller-assembled batch through one compiled sweep,
@@ -151,8 +174,19 @@ class InferenceService {
 
   ServingStats stats() const;
 
-  /// Repository/decision state. Not synchronized against a concurrent
-  /// on_calibration — single-threaded inspection only.
+  /// Per-shard monitoring counters, index-aligned with the configured
+  /// shards. Routing tests and dashboards read these to see how the router
+  /// spread the traffic.
+  std::vector<ShardStats> shard_stats() const;
+
+  /// Repository/decision state, snapshotted under the calibration lock —
+  /// safe to call from monitoring loops while on_calibration events race.
+  RepositorySnapshot repository_snapshot() const;
+
+  /// Repository/decision state as a live reference. Not synchronized
+  /// against a concurrent on_calibration — single-threaded inspection only
+  /// (tests, post-shutdown analysis). Monitoring loops use
+  /// repository_snapshot() / stats() instead.
   const OnlineManager& manager() const;
 
  private:
@@ -162,9 +196,14 @@ class InferenceService {
 };
 
 /// Serving-layer counterpart of the strategy harness: feeds each day's
-/// calibration through on_calibration, classifies `test` with submit_batch
-/// under that day's noise, and summarizes the daily accuracy series like
-/// eval/harness run_longitudinal does for a Strategy.
+/// calibration through on_calibration, classifies `test` through the async
+/// serving path (`options.serve_clients` concurrent submitters issuing
+/// submit_async and gathering futures; shed requests are retried with
+/// backoff, so a bounded queue only throttles the harness, never drops a
+/// sample) under that day's noise, and summarizes the daily accuracy
+/// series like eval/harness run_longitudinal does for a Strategy. With an
+/// expectation backend the result is independent of shard count and client
+/// concurrency.
 MethodResult run_longitudinal(InferenceService& service, const Dataset& test,
                               const std::vector<Calibration>& online_days,
                               const HarnessOptions& options = {});

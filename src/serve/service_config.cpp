@@ -1,5 +1,7 @@
 #include "serve/service_config.hpp"
 
+#include <cmath>
+
 #include "core/qucad.hpp"
 
 namespace qucad {
@@ -10,6 +12,25 @@ Status ServiceConfig::validate() const {
   }
   if (batch_window.count() < 0) {
     return Status::invalid_argument("batch_window must be non-negative");
+  }
+  if (num_shards == 0) {
+    return Status::invalid_argument(
+        "num_shards must be at least 1 (a zero-shard service can route "
+        "nothing)");
+  }
+  if (queue_capacity == 0) {
+    return Status::invalid_argument(
+        "queue_capacity must be at least 1 (a zero-capacity queue sheds "
+        "every request)");
+  }
+  if (deadline_budget.count() < 0) {
+    return Status::invalid_argument(
+        "deadline_budget must be non-negative (0 disables the deadline)");
+  }
+  if (!std::isfinite(result_cache_quantum) || result_cache_quantum < 0.0) {
+    return Status::invalid_argument(
+        "result_cache_quantum must be finite and non-negative (0 keys on "
+        "exact bits)");
   }
   if (eval.shots < 0) {
     return Status::invalid_argument("shots must be non-negative (0 = exact)");

@@ -49,6 +49,18 @@ struct ServiceConfig {
   /// bootstrap, online-compression ADMM settings, failure reports).
   ManagerOptions manager;
 
+  /// How the router assigns a submit_async request to a shard.
+  enum class RoutingPolicy {
+    /// Pick the shard with the shallowest queue; break ties with the
+    /// deterministic feature hash. Best latency under skewed load.
+    kLeastLoaded,
+    /// Pure feature-hash routing: the same feature vector always lands on
+    /// the same shard, independent of load — the deterministic fallback
+    /// (and the right choice for shot-sampled backends, where a request's
+    /// draw depends on its batch placement).
+    kHash,
+  };
+
   /// Upper bound on requests coalesced into one compiled batch sweep.
   std::size_t max_batch_size = 32;
 
@@ -58,6 +70,40 @@ struct ServiceConfig {
   std::chrono::microseconds batch_window{200};
 
   FailurePolicy failure_policy = FailurePolicy::kKeepServing;
+
+  /// Independent serving shards, each with its own micro-batch dispatcher,
+  /// bounded queue and epoch pointer. One shard reproduces the PR-4
+  /// single-dispatcher service; more shards remove the single-dispatcher
+  /// bottleneck under concurrent load. Expectation backends stay
+  /// bitwise-identical across shard counts (a request's logits do not
+  /// depend on which shard's sweep computed them). Must be >= 1.
+  std::size_t num_shards = 1;
+
+  /// Admission bound: requests queued per shard before submit_async sheds
+  /// with kResourceExhausted instead of queuing unboundedly. Must be >= 1.
+  std::size_t queue_capacity = 1024;
+
+  /// Per-request deadline budget, measured from submission. A request still
+  /// queued when its budget elapses fails with kDeadlineExceeded instead of
+  /// being executed late (the dispatcher checks before each sweep). Zero
+  /// disables the deadline.
+  std::chrono::microseconds deadline_budget{0};
+
+  RoutingPolicy routing = RoutingPolicy::kLeastLoaded;
+
+  /// Epoch-keyed result cache: predictions for repeated (quantized) feature
+  /// vectors are answered without queueing or re-execution. Entries are
+  /// keyed by (epoch id, quantized features), so a hot-swap naturally
+  /// invalidates — a cached answer always names the epoch that computed it.
+  /// Zero disables the cache (the default: caching trades the shot-sampled
+  /// backends' batch-placement semantics for speed; expectation backends
+  /// lose nothing).
+  std::size_t result_cache_capacity = 0;
+
+  /// Cache-key quantization step: features are bucketed to multiples of
+  /// this before keying, so near-identical sensor readings share an entry.
+  /// Zero keys on exact bit patterns. Must be finite and >= 0.
+  double result_cache_quantum = 0.0;
 
   ServiceConfig& with_eval(NoisyEvalOptions value) {
     eval = std::move(value);
@@ -85,6 +131,30 @@ struct ServiceConfig {
   }
   ServiceConfig& with_backend(BackendConfig backend) {
     eval.backend = backend;
+    return *this;
+  }
+  ServiceConfig& with_num_shards(std::size_t value) {
+    num_shards = value;
+    return *this;
+  }
+  ServiceConfig& with_queue_capacity(std::size_t value) {
+    queue_capacity = value;
+    return *this;
+  }
+  ServiceConfig& with_deadline_budget(std::chrono::microseconds value) {
+    deadline_budget = value;
+    return *this;
+  }
+  ServiceConfig& with_routing(RoutingPolicy value) {
+    routing = value;
+    return *this;
+  }
+  ServiceConfig& with_result_cache(std::size_t capacity) {
+    result_cache_capacity = capacity;
+    return *this;
+  }
+  ServiceConfig& with_result_cache_quantum(double value) {
+    result_cache_quantum = value;
     return *this;
   }
 

@@ -1,0 +1,146 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "backend/backend.hpp"
+#include "common/bounded_queue.hpp"
+#include "common/status.hpp"
+#include "noise/calibration.hpp"
+#include "serve/admission.hpp"
+#include "serve/service_config.hpp"
+
+namespace qucad {
+
+class ResultCache;
+
+/// One classified request.
+struct Prediction {
+  /// argmax over `logits` — the predicted class.
+  int label = -1;
+  /// Class logits, read positionally per the readout-slot contract: entry k
+  /// is `<Z>` of readout slot k (class k), never indexed by qubit id.
+  std::vector<double> logits;
+  /// The serving epoch that produced this prediction. Every request of one
+  /// micro-batch carries the same epoch, and a hot-swap never changes the
+  /// epoch of an in-flight batch.
+  std::uint64_t epoch = 0;
+  /// Execution regime that produced the logits (the epoch's configured
+  /// backend): exact density noise, noise-free statevector, or finite-shot
+  /// sampled readout. Lets downstream consumers weigh a prediction by how
+  /// it was computed.
+  BackendKind backend = BackendKind::kDensityNoisy;
+};
+
+/// One immutable serving snapshot. A hot-swap replaces each shard's
+/// shared_ptr; batches that already hold a snapshot finish on it untouched.
+/// Shards serving the same calibration event share the epoch id but hold
+/// their own ExecutionBackend instance (resolved per shard through the
+/// registry; the compiled program underneath is shared via the executor
+/// cache).
+struct Epoch {
+  std::uint64_t id = 0;
+  std::vector<double> theta;
+  Calibration calibration;
+  std::shared_ptr<const ExecutionBackend> backend;
+};
+
+/// Deterministic request-to-shard assignment: FNV-1a over the feature bit
+/// patterns, reduced mod `num_shards`. The same feature vector routes to
+/// the same shard on every call, every service instance, every process —
+/// the fallback the least-loaded router uses to break ties, and the whole
+/// policy under RoutingPolicy::kHash.
+std::size_t route_by_hash(std::span<const double> features,
+                          std::size_t num_shards);
+
+/// Monitoring snapshot of one shard (all counters relaxed-atomic reads).
+struct ShardStats {
+  std::uint64_t requests = 0;         ///< samples served by this shard's sweeps
+  std::uint64_t batches = 0;          ///< compiled sweeps executed
+  std::uint64_t coalesced = 0;        ///< requests that shared a sweep
+  std::uint64_t shed = 0;             ///< requests bounced off the full queue
+  std::uint64_t deadline_misses = 0;  ///< requests expired while queued
+  std::uint64_t queue_depth = 0;      ///< instantaneous backlog
+};
+
+/// One serving shard: a bounded request queue, a micro-batch dispatcher
+/// thread, and an atomically hot-swappable epoch pointer. The
+/// InferenceService routes submit_async() requests across N of these; each
+/// shard is single-consumer by construction, so the dispatcher needs no
+/// coordination with its peers — the only cross-shard state is the shared
+/// AdmissionController (global shed/deadline accounting) and the optional
+/// ResultCache.
+class ServingShard {
+ public:
+  /// `config`, `admission` and `cache` are borrowed and must outlive the
+  /// shard (the owning service guarantees it). `cache` may be null.
+  ServingShard(std::size_t index, const ServiceConfig& config,
+               AdmissionController& admission, ResultCache* cache);
+
+  /// Closes the queue, drains in-flight requests, joins the dispatcher.
+  ~ServingShard();
+
+  ServingShard(const ServingShard&) = delete;
+  ServingShard& operator=(const ServingShard&) = delete;
+
+  /// Spawns the dispatcher. Called once, after the first epoch is
+  /// installed — the dispatcher assumes epoch() is never null.
+  void start();
+
+  /// Atomically publishes a new epoch for subsequent batches; the batch the
+  /// dispatcher is currently sweeping keeps the snapshot it grabbed.
+  void install_epoch(std::shared_ptr<const Epoch> epoch);
+
+  std::shared_ptr<const Epoch> epoch() const;
+
+  /// Admission-controlled enqueue. The future resolves with the
+  /// prediction, kResourceExhausted (queue full — never queued),
+  /// kDeadlineExceeded (expired while queued), or kUnavailable (shutdown).
+  /// Features are validated by the service before routing.
+  std::future<StatusOr<Prediction>> enqueue(std::vector<double> features);
+
+  /// One synchronous compiled sweep on `epoch` (the caller-assembled
+  /// submit_batch path — bypasses the queue, counted against this shard).
+  /// Throws on library invariant failures; the service converts to Status.
+  std::vector<Prediction> run_batch(const Epoch& epoch,
+                                    std::span<const std::vector<double>> xs);
+
+  std::size_t index() const { return index_; }
+  std::size_t queue_depth() const { return queue_.size(); }
+  ShardStats stats() const;
+
+ private:
+  struct QueuedRequest {
+    std::vector<double> features;
+    std::promise<StatusOr<Prediction>> promise;
+    Clock::TimePoint enqueued;
+  };
+
+  void dispatch_loop();
+  void serve_pending(std::vector<QueuedRequest>& batch);
+
+  const std::size_t index_;
+  const ServiceConfig& config_;
+  AdmissionController& admission_;
+  ResultCache* cache_;
+
+  mutable std::mutex epoch_mutex_;
+  std::shared_ptr<const Epoch> epoch_;  // never null once start()ed
+
+  BoundedQueue<QueuedRequest> queue_;
+  std::thread dispatcher_;
+
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> deadline_misses_{0};
+};
+
+}  // namespace qucad

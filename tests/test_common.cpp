@@ -1,10 +1,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <memory>
 #include <set>
+#include <thread>
+#include <vector>
 
+#include "common/bounded_queue.hpp"
+#include "common/clock.hpp"
 #include "common/require.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
@@ -213,6 +218,14 @@ TEST(Status, FactoriesCarryCodeAndMessage) {
             StatusCode::kFailedPrecondition);
   EXPECT_EQ(Status::not_found("x").code(), StatusCode::kNotFound);
   EXPECT_EQ(Status::internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::resource_exhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::resource_exhausted("x").to_string(),
+            "resource_exhausted: x");
+  EXPECT_EQ(Status::deadline_exceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::deadline_exceeded("x").to_string(),
+            "deadline_exceeded: x");
 }
 
 TEST(StatusOr, HoldsValue) {
@@ -241,6 +254,129 @@ TEST(StatusOr, MoveOnlyValue) {
   ASSERT_TRUE(result.ok());
   const std::unique_ptr<int> owned = std::move(result).value();
   EXPECT_EQ(*owned, 9);
+}
+
+TEST(ManualClock, AdvancesOnlyWhenTold) {
+  ManualClock clock;
+  const Clock::TimePoint t0 = clock.now();
+  EXPECT_EQ(clock.now(), t0);
+  clock.advance(std::chrono::milliseconds(5));
+  EXPECT_EQ(clock.now() - t0, Clock::Duration(std::chrono::milliseconds(5)));
+  clock.advance(std::chrono::microseconds(3));
+  EXPECT_EQ(clock.now() - t0,
+            Clock::Duration(std::chrono::microseconds(5003)));
+}
+
+TEST(SystemClock, IsMonotonic) {
+  const Clock& clock = Clock::system();
+  const Clock::TimePoint a = clock.now();
+  const Clock::TimePoint b = clock.now();
+  EXPECT_LE(a, b);
+}
+
+TEST(BoundedQueue, PushPopRoundTrip) {
+  BoundedQueue<int> queue(4);
+  EXPECT_EQ(queue.capacity(), 4u);
+  EXPECT_EQ(queue.try_push(1), PushResult::kOk);
+  EXPECT_EQ(queue.try_push(2), PushResult::kOk);
+  EXPECT_EQ(queue.size(), 2u);
+  const std::vector<int> batch =
+      queue.collect(8, std::chrono::microseconds(0));
+  EXPECT_EQ(batch, (std::vector<int>{1, 2}));
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(BoundedQueue, ShedsAtCapacityInsteadOfBlocking) {
+  BoundedQueue<int> queue(2);
+  EXPECT_EQ(queue.try_push(1), PushResult::kOk);
+  EXPECT_EQ(queue.try_push(2), PushResult::kOk);
+  EXPECT_EQ(queue.try_push(3), PushResult::kFull);
+  EXPECT_EQ(queue.size(), 2u);  // the rejected item was never queued
+  // Draining frees capacity again.
+  (void)queue.collect(1, std::chrono::microseconds(0));
+  EXPECT_EQ(queue.try_push(3), PushResult::kOk);
+}
+
+TEST(BoundedQueue, CollectTakesAtMostMaxItems) {
+  BoundedQueue<int> queue(8);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(queue.try_push(i), PushResult::kOk);
+  }
+  EXPECT_EQ(queue.collect(3, std::chrono::microseconds(0)),
+            (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(queue.collect(3, std::chrono::microseconds(0)),
+            (std::vector<int>{3, 4}));
+}
+
+TEST(BoundedQueue, StragglerWindowCoalescesConcurrentProducers) {
+  BoundedQueue<int> queue(16);
+  ASSERT_EQ(queue.try_push(0), PushResult::kOk);
+  std::thread straggler([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    (void)queue.try_push(1);
+  });
+  // The consumer has one item in hand but lingers for the straggler.
+  const std::vector<int> batch =
+      queue.collect(16, std::chrono::milliseconds(500));
+  straggler.join();
+  EXPECT_EQ(batch, (std::vector<int>{0, 1}));
+}
+
+TEST(BoundedQueue, CloseRejectsProducersAndDrainsConsumer) {
+  BoundedQueue<int> queue(4);
+  ASSERT_EQ(queue.try_push(7), PushResult::kOk);
+  queue.close();
+  EXPECT_TRUE(queue.closed());
+  EXPECT_EQ(queue.try_push(8), PushResult::kClosed);
+  // Queued work is still drained (no straggler wait after close)...
+  EXPECT_EQ(queue.collect(4, std::chrono::seconds(10)),
+            (std::vector<int>{7}));
+  // ...and an empty closed queue signals shutdown with an empty batch.
+  EXPECT_TRUE(queue.collect(4, std::chrono::seconds(10)).empty());
+}
+
+TEST(BoundedQueue, ConcurrentProducersNeverExceedCapacity) {
+  constexpr std::size_t kCapacity = 8;
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 200;
+  BoundedQueue<int> queue(kCapacity);
+  std::atomic<int> accepted{0};
+  std::atomic<int> shed{0};
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        if (queue.try_push(i) == PushResult::kOk) {
+          accepted.fetch_add(1);
+        } else {
+          shed.fetch_add(1);
+        }
+      }
+    });
+  }
+  int drained = 0;
+  std::thread consumer([&] {
+    for (;;) {
+      const std::vector<int> batch =
+          queue.collect(kCapacity, std::chrono::microseconds(50));
+      drained += static_cast<int>(batch.size());
+      ASSERT_LE(batch.size(), kCapacity);
+      if (batch.empty() && done.load()) return;
+      if (done.load() && queue.size() == 0) return;
+    }
+  });
+  for (std::thread& producer : producers) producer.join();
+  done.store(true);
+  queue.close();
+  consumer.join();
+  // Drain anything the consumer exited before taking.
+  drained += static_cast<int>(
+      queue.collect(kProducers * kPerProducer, std::chrono::microseconds(0))
+          .size());
+  EXPECT_EQ(drained, accepted.load());
+  EXPECT_EQ(accepted.load() + shed.load(), kProducers * kPerProducer);
 }
 
 }  // namespace

@@ -8,12 +8,17 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <future>
+#include <limits>
 #include <map>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/clock.hpp"
 #include "core/qucad.hpp"
 #include "core/strategies.hpp"
 #include "data/seismic_synth.hpp"
@@ -21,7 +26,10 @@
 #include "qnn/eval_cache.hpp"
 #include "qnn/evaluator.hpp"
 #include "qnn/trainer.hpp"
+#include "serve/admission.hpp"
 #include "serve/inference_service.hpp"
+#include "serve/result_cache.hpp"
+#include "serve/shard.hpp"
 #include "transpile/transpiler.hpp"
 
 namespace qucad {
@@ -80,6 +88,47 @@ TEST(ServeConfig, ValidateRejectsBadKnobs) {
             StatusCode::kInvalidArgument);
   EXPECT_EQ(ServiceConfig().with_shots(-5).validate().code(),
             StatusCode::kInvalidArgument);
+}
+
+TEST(ServeConfig, ValidateRejectsBadShardingKnobs) {
+  // A zero-shard service can route nothing; a zero-capacity queue can admit
+  // nothing — both are configuration errors, not degenerate modes.
+  EXPECT_EQ(ServiceConfig().with_num_shards(0).validate().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ServiceConfig().with_queue_capacity(0).validate().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ServiceConfig()
+                .with_deadline_budget(std::chrono::microseconds(-1))
+                .validate()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ServiceConfig().with_result_cache_quantum(-0.5).validate().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ServiceConfig()
+                .with_result_cache_quantum(
+                    std::numeric_limits<double>::quiet_NaN())
+                .validate()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ServeConfig, BuildersSetShardingKnobs) {
+  const ServiceConfig config = ServiceConfig()
+                                   .with_num_shards(4)
+                                   .with_queue_capacity(7)
+                                   .with_deadline_budget(
+                                       std::chrono::milliseconds(5))
+                                   .with_routing(
+                                       ServiceConfig::RoutingPolicy::kHash)
+                                   .with_result_cache(16)
+                                   .with_result_cache_quantum(0.25);
+  EXPECT_EQ(config.num_shards, 4u);
+  EXPECT_EQ(config.queue_capacity, 7u);
+  EXPECT_EQ(config.deadline_budget, std::chrono::microseconds(5000));
+  EXPECT_EQ(config.routing, ServiceConfig::RoutingPolicy::kHash);
+  EXPECT_EQ(config.result_cache_capacity, 16u);
+  EXPECT_DOUBLE_EQ(config.result_cache_quantum, 0.25);
+  EXPECT_TRUE(config.validate().ok());
 }
 
 TEST(ServeConfig, ConsolidatesFromPipelineAndEnvironment) {
@@ -174,6 +223,11 @@ TEST(ServeSubmit, ValidatesRequests) {
       InferenceService::create(fx.env, {}, fx.history.day(0));
   ASSERT_TRUE(service.ok());
   EXPECT_EQ(service->submit({0.5}).status().code(),
+            StatusCode::kInvalidArgument);
+  // The async path reports validation errors through the future — the
+  // malformed request is never enqueued, but the caller still gets a
+  // resolvable future rather than an exception.
+  EXPECT_EQ(service->submit_async({0.5}).get().status().code(),
             StatusCode::kInvalidArgument);
   EXPECT_EQ(service->submit_batch({}).status().code(),
             StatusCode::kInvalidArgument);
@@ -451,6 +505,370 @@ TEST(ServeLongitudinal, MatchesStrategyHarnessBitwise) {
         << "day " << d;
   }
   EXPECT_EQ(from_service.optimizations, from_strategy.optimizations);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded serving: admission control, routing, result cache.
+// ---------------------------------------------------------------------------
+
+TEST(ServeAdmission, ControllerEnforcesDeadlineUnderManualClock) {
+  ManualClock clock;
+  AdmissionController admission(std::chrono::microseconds(100), &clock);
+  const Clock::TimePoint enqueued = admission.stamp();
+
+  // Exactly at the budget: still admitted (the budget is inclusive).
+  clock.advance(std::chrono::microseconds(100));
+  EXPECT_TRUE(admission.admit_for_execution(enqueued).ok());
+  EXPECT_EQ(admission.deadline_misses(), 0u);
+
+  // One tick past: expired, counted, kDeadlineExceeded.
+  clock.advance(std::chrono::microseconds(1));
+  EXPECT_EQ(admission.admit_for_execution(enqueued).code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(admission.deadline_misses(), 1u);
+
+  // Shed verdicts carry kResourceExhausted and count separately.
+  EXPECT_EQ(admission.shed(0, 4).code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(admission.shed_count(), 1u);
+
+  // A zero budget disables the deadline entirely.
+  AdmissionController no_deadline(std::chrono::microseconds(0), &clock);
+  const Clock::TimePoint old = no_deadline.stamp();
+  clock.advance(std::chrono::hours(1));
+  EXPECT_TRUE(no_deadline.admit_for_execution(old).ok());
+}
+
+TEST(ServeRouting, HashRoutingIsDeterministicAcrossServices) {
+  // Pure routing function: same bits -> same shard, every call.
+  const std::vector<double> x{0.1, -0.2, 0.3, 0.4};
+  for (std::size_t shards : {1u, 2u, 5u}) {
+    const std::size_t first = route_by_hash(x, shards);
+    EXPECT_LT(first, shards);
+    EXPECT_EQ(route_by_hash(x, shards), first);
+  }
+
+  // Two independently-built services under pure hash routing must spread an
+  // identical request sequence identically across their shards.
+  ServeFixture fx;
+  const ServiceConfig config =
+      ServiceConfig::from_environment(fx.env)
+          .with_num_shards(4)
+          .with_routing(ServiceConfig::RoutingPolicy::kHash)
+          .with_batch_window(std::chrono::microseconds(0));
+  StatusOr<InferenceService> first =
+      InferenceService::create(fx.env, {}, fx.history.day(0), config);
+  StatusOr<InferenceService> second =
+      InferenceService::create(fx.env, {}, fx.history.day(0), config);
+  ASSERT_TRUE(first.ok()) << first.status().to_string();
+  ASSERT_TRUE(second.ok());
+
+  const std::size_t n = std::min<std::size_t>(32, fx.env.train.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(first->submit(fx.env.train.features[i]).ok());
+    ASSERT_TRUE(second->submit(fx.env.train.features[i]).ok());
+  }
+
+  const std::vector<ShardStats> a = first->shard_stats();
+  const std::vector<ShardStats> b = second->shard_stats();
+  ASSERT_EQ(a.size(), 4u);
+  ASSERT_EQ(b.size(), 4u);
+  std::uint64_t total = 0;
+  std::size_t used = 0;
+  for (std::size_t s = 0; s < a.size(); ++s) {
+    EXPECT_EQ(a[s].requests, b[s].requests) << "shard " << s;
+    total += a[s].requests;
+    used += a[s].requests > 0 ? 1 : 0;
+  }
+  EXPECT_EQ(total, n);
+  EXPECT_GE(used, 2u) << "hash routing should spread distinct vectors";
+}
+
+TEST(ServeSharding, PredictionsBitwiseIdenticalAcrossShardCounts) {
+  ServeFixture fx;
+  const Calibration& day = fx.history.day(0);
+  const Dataset probe = fx.env.train.take(16);
+  const std::shared_ptr<const NoisyExecutor> reference = build_noisy_executor(
+      fx.env.model, fx.env.transpiled, fx.env.theta_pretrained, day,
+      fx.env.eval.noise);
+
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{3}}) {
+    const ServiceConfig config =
+        ServiceConfig::from_environment(fx.env).with_num_shards(shards);
+    StatusOr<InferenceService> service =
+        InferenceService::create(fx.env, {}, day, config);
+    ASSERT_TRUE(service.ok()) << service.status().to_string();
+
+    std::vector<std::future<StatusOr<Prediction>>> futures;
+    futures.reserve(probe.size());
+    for (std::size_t i = 0; i < probe.size(); ++i) {
+      futures.push_back(service->submit_async(probe.features[i]));
+    }
+    for (std::size_t i = 0; i < probe.size(); ++i) {
+      StatusOr<Prediction> prediction = futures[i].get();
+      ASSERT_TRUE(prediction.ok()) << prediction.status().to_string();
+      EXPECT_EQ(prediction->epoch, 1u);
+      EXPECT_EQ(prediction->logits, reference->run_z(probe.features[i]))
+          << shards << "-shard service diverged on sample " << i;
+    }
+  }
+}
+
+TEST(ServeAdmission, SaturatedShardShedsWithResourceExhausted) {
+  ServeFixture fx;
+  // One shard whose queue holds 2 requests, with a coalescing window far
+  // wider than the submission burst. Admitted requests stay IN the queue
+  // while the dispatcher lingers for stragglers (capacity measures true
+  // backlog), so of 8 instant submits exactly 2 are admitted and 6 shed.
+  const ServiceConfig config =
+      ServiceConfig::from_environment(fx.env)
+          .with_num_shards(1)
+          .with_queue_capacity(2)
+          .with_batch_window(std::chrono::milliseconds(750));
+  StatusOr<InferenceService> service =
+      InferenceService::create(fx.env, {}, fx.history.day(0), config);
+  ASSERT_TRUE(service.ok()) << service.status().to_string();
+
+  std::vector<std::future<StatusOr<Prediction>>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(
+        service->submit_async(fx.env.train.features[static_cast<std::size_t>(i)]));
+  }
+  int ok = 0;
+  int shed = 0;
+  for (std::future<StatusOr<Prediction>>& future : futures) {
+    const StatusOr<Prediction> result = future.get();
+    if (result.ok()) {
+      ++ok;
+    } else {
+      EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted)
+          << result.status().to_string();
+      ++shed;
+    }
+  }
+  EXPECT_EQ(ok, 2);
+  EXPECT_EQ(shed, 6);
+
+  const ServingStats stats = service->stats();
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.shed, 6u);
+  const std::vector<ShardStats> shards = service->shard_stats();
+  ASSERT_EQ(shards.size(), 1u);
+  EXPECT_EQ(shards[0].shed, 6u);
+}
+
+TEST(ServeAdmission, ExpiredDeadlineFailsRequestsBeforeExecution) {
+  ServeFixture fx;
+  // Every request out-waits its 1us budget inside the 200ms coalescing
+  // window, so the dispatcher must fail all of them at the gate — late
+  // answers never execute.
+  const ServiceConfig config =
+      ServiceConfig::from_environment(fx.env)
+          .with_num_shards(1)
+          .with_batch_window(std::chrono::milliseconds(200))
+          .with_deadline_budget(std::chrono::microseconds(1));
+  StatusOr<InferenceService> service =
+      InferenceService::create(fx.env, {}, fx.history.day(0), config);
+  ASSERT_TRUE(service.ok()) << service.status().to_string();
+
+  std::vector<std::future<StatusOr<Prediction>>> futures;
+  for (int i = 0; i < 4; ++i) {
+    futures.push_back(
+        service->submit_async(fx.env.train.features[static_cast<std::size_t>(i)]));
+  }
+  for (std::future<StatusOr<Prediction>>& future : futures) {
+    const StatusOr<Prediction> result = future.get();
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded)
+        << result.status().to_string();
+  }
+  const ServingStats stats = service->stats();
+  EXPECT_EQ(stats.deadline_misses, 4u);
+  EXPECT_EQ(stats.requests, 0u) << "an expired request must never execute";
+}
+
+// Hot-swap under saturation: small bounded queues across 2 shards, async
+// clients racing 8 reuse swaps. Shed requests are acceptable (that is the
+// admission contract); every SERVED prediction must still be
+// bitwise-identical to a sequential evaluation of the epoch it names.
+TEST(ServeHotSwap, SaturatedShardsKeepEpochConsistency) {
+  ServeFixture fx;
+  constexpr int kThreads = 6;
+  constexpr int kRequestsPerThread = 20;
+  constexpr int kSwaps = 8;
+
+  const ServiceConfig config = ServiceConfig::from_environment(fx.env)
+                                   .with_num_shards(2)
+                                   .with_queue_capacity(3);
+  StatusOr<InferenceService> service = InferenceService::create(
+      fx.env, fx.reuse_only_repository(3), fx.history.day(0), config);
+  ASSERT_TRUE(service.ok()) << service.status().to_string();
+
+  std::map<std::uint64_t, std::pair<std::vector<double>, Calibration>> epochs;
+  epochs.emplace(1u, std::make_pair(fx.env.theta_pretrained, fx.history.day(0)));
+
+  struct Served {
+    std::vector<double> features;
+    Prediction prediction;
+  };
+  std::vector<std::vector<Served>> served(kThreads);
+  std::atomic<std::uint64_t> shed{0};
+
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int r = 0; r < kRequestsPerThread; ++r) {
+        std::vector<double> x =
+            fx.env.train.features[static_cast<std::size_t>(
+                (t * kRequestsPerThread + r) % fx.env.train.size())];
+        x[0] += 1e-3 * t + 1e-5 * r;
+        StatusOr<Prediction> prediction = service->submit_async(x).get();
+        if (!prediction.ok()) {
+          ASSERT_EQ(prediction.status().code(),
+                    StatusCode::kResourceExhausted)
+              << prediction.status().to_string();
+          shed.fetch_add(1);
+          continue;
+        }
+        served[static_cast<std::size_t>(t)].push_back(
+            Served{std::move(x), std::move(prediction).value()});
+      }
+    });
+  }
+
+  for (int s = 0; s < kSwaps; ++s) {
+    const Calibration& day = fx.history.day(10 + 20 * (s % 3));
+    const StatusOr<CalibrationReport> report = service->on_calibration(day);
+    ASSERT_TRUE(report.ok()) << report.status().to_string();
+    ASSERT_TRUE(report->swapped);
+    epochs.emplace(report->epoch, std::make_pair(service->active_theta(), day));
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  for (std::thread& client : clients) client.join();
+
+  std::size_t total_ok = 0;
+  for (const std::vector<Served>& per_thread : served) {
+    for (const Served& request : per_thread) {
+      const auto it = epochs.find(request.prediction.epoch);
+      ASSERT_NE(it, epochs.end())
+          << "prediction names unknown epoch " << request.prediction.epoch;
+      const std::shared_ptr<const NoisyExecutor> executor =
+          CompiledEvalCache::global().get_or_build(
+              fx.env.model, fx.env.transpiled, it->second.first,
+              it->second.second, fx.env.eval.noise);
+      ASSERT_EQ(request.prediction.logits, executor->run_z(request.features))
+          << "epoch " << request.prediction.epoch
+          << ": served result diverged from sequential evaluation";
+      ++total_ok;
+    }
+  }
+  EXPECT_EQ(total_ok + shed.load(),
+            static_cast<std::uint64_t>(kThreads) * kRequestsPerThread);
+  const ServingStats stats = service->stats();
+  EXPECT_EQ(stats.requests, total_ok);
+  EXPECT_EQ(stats.shed, shed.load());
+}
+
+TEST(ServeResultCache, QuantizesKeysInvalidatesByEpochAndEvictsLru) {
+  ResultCache cache(2, 0.1);
+  EXPECT_TRUE(cache.enabled());
+  Prediction first;
+  first.label = 1;
+  first.logits = {0.25, 0.75};
+  first.epoch = 7;
+
+  const std::vector<double> x{0.50};
+  const std::vector<double> x_nearby{0.52};  // same 0.1 bucket as 0.50
+  const std::vector<double> y{1.30};
+  const std::vector<double> z{2.70};
+
+  cache.insert(7, x, first);
+  const std::optional<Prediction> hit = cache.lookup(7, x_nearby);
+  ASSERT_TRUE(hit.has_value()) << "nearby reading should share the bucket";
+  EXPECT_EQ(hit->logits, first.logits);
+  EXPECT_EQ(hit->label, first.label);
+
+  // Same features under another epoch: unreachable by key construction.
+  EXPECT_FALSE(cache.lookup(8, x).has_value());
+
+  // LRU eviction at capacity 2: touch x, insert y then z -> y evicted.
+  Prediction other = first;
+  other.label = 0;
+  cache.insert(7, y, other);
+  ASSERT_TRUE(cache.lookup(7, x).has_value());  // refresh x's recency
+  cache.insert(7, z, other);
+  EXPECT_FALSE(cache.lookup(7, y).has_value()) << "y was least recent";
+  EXPECT_TRUE(cache.lookup(7, x).has_value());
+  EXPECT_TRUE(cache.lookup(7, z).has_value());
+  EXPECT_LE(cache.entries(), 2u);
+  EXPECT_EQ(cache.lookups(), 6u);
+  EXPECT_EQ(cache.hits(), 4u);
+
+  // Capacity 0 disables: lookups miss, inserts drop.
+  ResultCache disabled(0, 0.0);
+  EXPECT_FALSE(disabled.enabled());
+  disabled.insert(7, x, first);
+  EXPECT_FALSE(disabled.lookup(7, x).has_value());
+}
+
+TEST(ServeResultCache, ServesRepeatsWithoutReexecutionUntilSwap) {
+  ServeFixture fx;
+  const ServiceConfig config =
+      ServiceConfig::from_environment(fx.env).with_result_cache(64);
+  StatusOr<InferenceService> service = InferenceService::create(
+      fx.env, fx.reuse_only_repository(1), fx.history.day(0), config);
+  ASSERT_TRUE(service.ok()) << service.status().to_string();
+
+  const std::vector<double>& x = fx.env.train.features[0];
+  const StatusOr<Prediction> first = service->submit(x);  // miss: executes
+  ASSERT_TRUE(first.ok());
+  const StatusOr<Prediction> second = service->submit(x);  // hit: no sweep
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->logits, first->logits);
+  EXPECT_EQ(second->epoch, first->epoch);
+
+  ServingStats stats = service->stats();
+  EXPECT_EQ(stats.cache_lookups, 2u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.batches, 1u) << "the repeat must not run a sweep";
+  EXPECT_EQ(stats.requests, 2u) << "cache hits still count as served";
+
+  // A hot-swap moves the service to epoch 2; the cached epoch-1 answer must
+  // be unreachable — the same vector now executes under the new epoch.
+  const StatusOr<CalibrationReport> swap =
+      service->on_calibration(fx.history.day(10));
+  ASSERT_TRUE(swap.ok());
+  ASSERT_TRUE(swap->swapped);
+  const StatusOr<Prediction> third = service->submit(x);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(third->epoch, 2u) << "stale epoch-1 cache entry served after swap";
+  stats = service->stats();
+  EXPECT_EQ(stats.cache_lookups, 3u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.batches, 2u);
+}
+
+TEST(ServeStats, RepositorySnapshotTracksDecisions) {
+  ServeFixture fx;
+  StatusOr<InferenceService> service =
+      InferenceService::create(fx.env, {}, fx.history.day(0));
+  ASSERT_TRUE(service.ok());
+
+  RepositorySnapshot snapshot = service->repository_snapshot();
+  EXPECT_EQ(snapshot.entries, 0u);
+  EXPECT_EQ(snapshot.optimizations, 0);
+  EXPECT_EQ(snapshot.reuses, 0);
+
+  // A bootstrap compression day adds one entry and costs optimize time.
+  const StatusOr<CalibrationReport> report =
+      service->on_calibration(fx.history.day(5));
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  snapshot = service->repository_snapshot();
+  EXPECT_EQ(snapshot.entries, 1u);
+  EXPECT_EQ(snapshot.optimizations, 1);
+  EXPECT_GT(snapshot.total_optimize_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(snapshot.threshold,
+                   service->manager().repository().threshold());
 }
 
 }  // namespace
