@@ -26,6 +26,7 @@
 #include "bench_common.hpp"
 #include "common/require.hpp"
 #include "common/rng.hpp"
+#include "io/wire.hpp"
 #include "data/mnist_synth.hpp"
 #include "noise/calibration_history.hpp"
 #include "qnn/ansatz.hpp"
@@ -864,6 +865,117 @@ std::vector<Record> backend_benches() {
   return records;
 }
 
+/// The wire-protocol record group: a multi-connection load generator
+/// against a WireServer on a loopback ephemeral port. Each connection is a
+/// thread with its own WireClient issuing synchronous predicts, so every
+/// request pays the full deployment path — frame encode, TCP round-trip,
+/// server decode, a blocking submit through the shard dispatchers, and the
+/// response trip back. Records throughput plus request-latency p50/p99 at
+/// 1/8/32 connections (latencies as inverse seconds so "higher is better"
+/// holds for the regression gate; the raw latency rides in `seconds`).
+std::vector<Record> wire_benches() {
+  std::vector<Record> records;
+  BenchWorkload w = make_workload();
+  Environment env;
+  env.model = w.model;
+  env.theta_pretrained = w.theta;
+  env.train = make_mnist4(64, 24);
+  env.transpiled = w.transpiled;
+
+  StatusOr<InferenceService> service =
+      InferenceService::create(env, {}, w.calib());
+  require(service.ok(), service.status().to_string());
+  StatusOr<WireServer> server = WireServer::start(*service);
+  require(server.ok(), server.status().to_string());
+
+  const std::vector<std::vector<double>>& requests = env.train.features;
+  const std::string params = "qubits=4,device=belem";
+
+  // One warmup round-trip so the first epoch's compile cost is not timed.
+  {
+    StatusOr<WireClient> warm = WireClient::connect("127.0.0.1",
+                                                    server->port());
+    require(warm.ok(), warm.status().to_string());
+    const auto p = warm->predict(requests[0]);
+    require(p.ok(), p.status().to_string());
+  }
+
+  for (const int connections : {1, 8, 32}) {
+    const int per_connection = connections >= 32 ? 8
+                               : connections == 8 ? 24
+                                                  : 100;
+    std::vector<std::vector<double>> latencies(
+        static_cast<std::size_t>(connections));
+    std::vector<Status> failures(static_cast<std::size_t>(connections));
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(connections));
+    const auto start = Clock::now();
+    for (int c = 0; c < connections; ++c) {
+      threads.emplace_back([&, c] {
+        StatusOr<WireClient> client =
+            WireClient::connect("127.0.0.1", server->port());
+        if (!client.ok()) {
+          failures[static_cast<std::size_t>(c)] = client.status();
+          return;
+        }
+        for (int r = 0; r < per_connection; ++r) {
+          const auto& x = requests[static_cast<std::size_t>(c * 31 + r) %
+                                   requests.size()];
+          const auto sent = Clock::now();
+          const StatusOr<Prediction> result = client->predict(x);
+          if (!result.ok()) {
+            failures[static_cast<std::size_t>(c)] = result.status();
+            return;
+          }
+          latencies[static_cast<std::size_t>(c)].push_back(
+              std::chrono::duration<double>(Clock::now() - sent).count());
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    const double seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    for (const Status& status : failures) {
+      require(status.ok(), "wire bench: predict failed: " + status.to_string());
+    }
+
+    std::vector<double> merged;
+    for (const auto& lat : latencies) {
+      merged.insert(merged.end(), lat.begin(), lat.end());
+    }
+    std::sort(merged.begin(), merged.end());
+    const std::int64_t total = static_cast<std::int64_t>(merged.size());
+    const std::string cparams =
+        params + ",conns=" + std::to_string(connections);
+
+    Record throughput;
+    throughput.name = "wire_predict";
+    throughput.params = cparams;
+    throughput.iters = total;
+    throughput.seconds = seconds;
+    throughput.throughput = static_cast<double>(total) / seconds;
+    throughput.unit = "requests/sec";
+    records.push_back(throughput);
+
+    const double p50 = merged[merged.size() / 2];
+    const double p99 = merged[(merged.size() * 99) / 100];
+    for (const auto& [name, value] :
+         {std::pair<const char*, double>{"wire_latency_p50", p50},
+          std::pair<const char*, double>{"wire_latency_p99", p99}}) {
+      Record latency;
+      latency.name = name;
+      latency.params = cparams;
+      latency.iters = total;
+      latency.seconds = value;
+      latency.throughput = value > 0.0 ? 1.0 / value : 0.0;
+      latency.unit = "1/sec (inverse latency)";
+      records.push_back(latency);
+    }
+  }
+  server->stop();
+  return records;
+}
+
 }  // namespace
 }  // namespace qucad::bench
 
@@ -884,6 +996,7 @@ int main(int argc, char** argv) {
     write_group(dir, "simd", simd_benches());
     write_group(dir, "serving", serving_benches());
     write_group(dir, "backends", backend_benches());
+    write_group(dir, "wire", wire_benches());
   } catch (const std::exception& e) {
     std::cerr << "run_all: " << e.what() << "\n";
     return 1;

@@ -22,6 +22,7 @@ enum class StatusCode {
   kUnavailable,         // transient: no trustworthy result right now
   kResourceExhausted,   // load shed: a bounded queue/budget is full
   kDeadlineExceeded,    // the request's deadline budget elapsed unserved
+  kDataLoss,            // persisted/wire bytes are corrupt or truncated
   kInternal,            // invariant violation inside the library
 };
 
@@ -35,6 +36,7 @@ inline const char* status_code_name(StatusCode code) {
     case StatusCode::kUnavailable: return "unavailable";
     case StatusCode::kResourceExhausted: return "resource_exhausted";
     case StatusCode::kDeadlineExceeded: return "deadline_exceeded";
+    case StatusCode::kDataLoss: return "data_loss";
     case StatusCode::kInternal: return "internal";
   }
   return "unknown";
@@ -65,8 +67,18 @@ class [[nodiscard]] Status {
   static Status deadline_exceeded(std::string message) {
     return Status(StatusCode::kDeadlineExceeded, std::move(message));
   }
+  static Status data_loss(std::string message) {
+    return Status(StatusCode::kDataLoss, std::move(message));
+  }
   static Status internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  /// Rebuilds a status from a transported (code, message) pair — the wire
+  /// decoder's path. An OK code yields an OK status (message discarded).
+  static Status from_code(StatusCode code, std::string message) {
+    if (code == StatusCode::kOk) return Status();
+    return Status(code, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,21 @@
+#pragma once
+
+#include "common/status.hpp"
+#include "io/serializer.hpp"
+#include "noise/calibration.hpp"
+
+namespace qucad::io_detail {
+
+/// Internal: the Calibration payload codec shared by io/artifacts (persisted
+/// calibration-history sections) and io/wire (calibration-push frames). One
+/// codec, one byte layout — a calibration pushed over the wire and one read
+/// back from an artifact decode through the same path. Not part of the
+/// public io surface.
+///
+/// decode_calibration reconstructs through Calibration's own setters, whose
+/// require() checks throw PreconditionError on semantically invalid values;
+/// both callers convert that into kDataLoss at their boundary.
+void encode_calibration(Serializer& out, const Calibration& calibration);
+Status decode_calibration(Deserializer& in, Calibration& out);
+
+}  // namespace qucad::io_detail

@@ -1,0 +1,193 @@
+#include "io/serializer.hpp"
+
+#include <array>
+#include <bit>
+
+namespace qucad {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+Status truncated(const char* what) {
+  return Status::data_loss(std::string("truncated input: expected ") + what);
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> bytes) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::uint8_t b : bytes) {
+    crc = table[(crc ^ b) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void Serializer::write_u8(std::uint8_t v) { bytes_.push_back(v); }
+
+void Serializer::write_u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void Serializer::write_u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void Serializer::write_i32(std::int32_t v) {
+  write_u32(static_cast<std::uint32_t>(v));
+}
+
+void Serializer::write_f64(double v) {
+  write_u64(std::bit_cast<std::uint64_t>(v));
+}
+
+void Serializer::write_string(const std::string& s) {
+  write_u64(s.size());
+  bytes_.insert(bytes_.end(), s.begin(), s.end());
+}
+
+void Serializer::write_f64_vector(const std::vector<double>& v) {
+  write_u64(v.size());
+  for (double d : v) write_f64(d);
+}
+
+void Serializer::write_u8_vector(const std::vector<std::uint8_t>& v) {
+  write_u64(v.size());
+  bytes_.insert(bytes_.end(), v.begin(), v.end());
+}
+
+void Serializer::write_optional_u64(const std::optional<std::uint64_t>& v) {
+  write_bool(v.has_value());
+  if (v.has_value()) write_u64(*v);
+}
+
+void Serializer::write_raw(std::span<const std::uint8_t> bytes) {
+  bytes_.insert(bytes_.end(), bytes.begin(), bytes.end());
+}
+
+const std::uint8_t* Deserializer::advance(std::size_t count) {
+  if (count > remaining()) return nullptr;
+  const std::uint8_t* p = bytes_.data() + offset_;
+  offset_ += count;
+  return p;
+}
+
+Status Deserializer::read_u8(std::uint8_t& out) {
+  const std::uint8_t* p = advance(1);
+  if (p == nullptr) return truncated("u8");
+  out = *p;
+  return Status();
+}
+
+Status Deserializer::read_u32(std::uint32_t& out) {
+  const std::uint8_t* p = advance(4);
+  if (p == nullptr) return truncated("u32");
+  out = 0;
+  for (int i = 0; i < 4; ++i) {
+    out |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  }
+  return Status();
+}
+
+Status Deserializer::read_u64(std::uint64_t& out) {
+  const std::uint8_t* p = advance(8);
+  if (p == nullptr) return truncated("u64");
+  out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  }
+  return Status();
+}
+
+Status Deserializer::read_i32(std::int32_t& out) {
+  std::uint32_t raw = 0;
+  if (Status s = read_u32(raw); !s.ok()) return s;
+  out = static_cast<std::int32_t>(raw);
+  return Status();
+}
+
+Status Deserializer::read_f64(double& out) {
+  std::uint64_t raw = 0;
+  if (Status s = read_u64(raw); !s.ok()) return s;
+  out = std::bit_cast<double>(raw);
+  return Status();
+}
+
+Status Deserializer::read_bool(bool& out) {
+  std::uint8_t raw = 0;
+  if (Status s = read_u8(raw); !s.ok()) return s;
+  if (raw > 1) return Status::data_loss("bool flag is neither 0 nor 1");
+  out = raw != 0;
+  return Status();
+}
+
+Status Deserializer::read_string(std::string& out) {
+  std::uint64_t count = 0;
+  if (Status s = read_u64(count); !s.ok()) return s;
+  if (count > remaining()) return truncated("string bytes");
+  const std::uint8_t* p = advance(static_cast<std::size_t>(count));
+  out.assign(reinterpret_cast<const char*>(p),
+             static_cast<std::size_t>(count));
+  return Status();
+}
+
+Status Deserializer::read_f64_vector(std::vector<double>& out) {
+  std::uint64_t count = 0;
+  if (Status s = read_u64(count); !s.ok()) return s;
+  if (count > remaining() / 8) return truncated("f64 vector elements");
+  out.clear();
+  out.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    double v = 0.0;
+    if (Status s = read_f64(v); !s.ok()) return s;
+    out.push_back(v);
+  }
+  return Status();
+}
+
+Status Deserializer::read_u8_vector(std::vector<std::uint8_t>& out) {
+  std::uint64_t count = 0;
+  if (Status s = read_u64(count); !s.ok()) return s;
+  if (count > remaining()) return truncated("u8 vector elements");
+  const std::uint8_t* p = advance(static_cast<std::size_t>(count));
+  out.assign(p, p + count);
+  return Status();
+}
+
+Status Deserializer::read_optional_u64(std::optional<std::uint64_t>& out) {
+  bool engaged = false;
+  if (Status s = read_bool(engaged); !s.ok()) return s;
+  if (!engaged) {
+    out.reset();
+    return Status();
+  }
+  std::uint64_t v = 0;
+  if (Status s = read_u64(v); !s.ok()) return s;
+  out = v;
+  return Status();
+}
+
+Status Deserializer::read_span(std::size_t count,
+                               std::span<const std::uint8_t>& out) {
+  const std::uint8_t* p = advance(count);
+  if (p == nullptr) return truncated("raw bytes");
+  out = std::span<const std::uint8_t>(p, count);
+  return Status();
+}
+
+}  // namespace qucad

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace qucad {
+
+/// \file
+/// The byte-level half of the persistence layer (src/io/): a writer and a
+/// Status-returning reader over an endian-stable binary encoding, shared by
+/// the artifact container (io/artifacts.hpp) and the wire protocol
+/// (io/wire.hpp).
+///
+/// Encoding rules:
+///  - all integers are fixed-width little-endian, whatever the host order;
+///  - doubles are the IEEE-754 bit pattern of the value, as a
+///    little-endian u64 — round-trips are bitwise, including NaN payloads
+///    and signed zeros;
+///  - strings and vectors are a u64 element count followed by the elements;
+///  - optional values are a u8 presence flag followed by the value.
+///
+/// The reader never throws and never reads past the buffer: every accessor
+/// bounds-checks first and returns kDataLoss on truncation, so corrupt or
+/// hostile inputs fail with a Status instead of undefined behavior.
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of a byte span —
+/// the per-section checksum of the artifact container and any other
+/// consumer that wants end-to-end integrity over this layer's bytes.
+std::uint32_t crc32(std::span<const std::uint8_t> bytes);
+
+/// Appends little-endian primitives to a growing byte buffer.
+class Serializer {
+ public:
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+  std::size_t size() const { return bytes_.size(); }
+
+  void write_u8(std::uint8_t v);
+  void write_u32(std::uint32_t v);
+  void write_u64(std::uint64_t v);
+  void write_i32(std::int32_t v);
+  void write_f64(double v);
+  void write_bool(bool v) { write_u8(v ? 1 : 0); }
+
+  /// u64 length followed by the raw bytes (no terminator).
+  void write_string(const std::string& s);
+
+  /// u64 element count followed by the elements.
+  void write_f64_vector(const std::vector<double>& v);
+  void write_u8_vector(const std::vector<std::uint8_t>& v);
+
+  /// u8 presence flag, then the value when engaged.
+  void write_optional_u64(const std::optional<std::uint64_t>& v);
+
+  /// Raw bytes, no length prefix (for pre-encoded payloads).
+  void write_raw(std::span<const std::uint8_t> bytes);
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Reads the Serializer encoding back out of a byte span. Every read method
+/// returns kDataLoss instead of reading past the end; element counts are
+/// additionally bounded by the bytes actually remaining, so a corrupt
+/// length prefix cannot trigger an allocation larger than the input.
+class Deserializer {
+ public:
+  explicit Deserializer(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::size_t offset() const { return offset_; }
+  std::size_t remaining() const { return bytes_.size() - offset_; }
+  bool exhausted() const { return offset_ == bytes_.size(); }
+
+  Status read_u8(std::uint8_t& out);
+  Status read_u32(std::uint32_t& out);
+  Status read_u64(std::uint64_t& out);
+  Status read_i32(std::int32_t& out);
+  Status read_f64(double& out);
+  Status read_bool(bool& out);
+  Status read_string(std::string& out);
+  Status read_f64_vector(std::vector<double>& out);
+  Status read_u8_vector(std::vector<std::uint8_t>& out);
+  Status read_optional_u64(std::optional<std::uint64_t>& out);
+
+  /// The next `count` bytes as a subspan, advancing past them.
+  Status read_span(std::size_t count, std::span<const std::uint8_t>& out);
+
+ private:
+  /// Bounds-checks and advances; the caller decodes from the returned
+  /// pointer. Returns nullptr (after setting no state) when truncated.
+  const std::uint8_t* advance(std::size_t count);
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace qucad

@@ -161,6 +161,11 @@ CalibrationHistory::CalibrationHistory(const FluctuationScenario& scenario,
   }
 }
 
+CalibrationHistory::CalibrationHistory(std::vector<Calibration> days)
+    : history_(std::move(days)) {
+  require(!history_.empty(), "history requires at least one day");
+}
+
 const Calibration& CalibrationHistory::day(int d) const {
   require(d >= 0 && d < days(), "day index out of range");
   return history_[static_cast<std::size_t>(d)];

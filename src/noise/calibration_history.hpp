@@ -57,6 +57,11 @@ class CalibrationHistory {
   CalibrationHistory(const FluctuationScenario& scenario, int days,
                      std::uint64_t seed);
 
+  /// Wraps an existing day-indexed calibration stream — the reconstruction
+  /// path for histories persisted via io/artifacts (longitudinal replays
+  /// from disk instead of re-synthesis). Must be non-empty.
+  explicit CalibrationHistory(std::vector<Calibration> days);
+
   static constexpr int kOfflineDays = 243;
   static constexpr int kOnlineDays = 146;
   static constexpr int kTotalDays = kOfflineDays + kOnlineDays;

@@ -101,6 +101,22 @@ TEST(History, SliceBounds) {
   EXPECT_THROW(h.day(30), PreconditionError);
 }
 
+TEST(History, VectorConstructorWrapsDaysVerbatim) {
+  const CalibrationHistory generated(FluctuationScenario::belem(), 12, 5);
+  std::vector<Calibration> days;
+  for (int d = 0; d < generated.days(); ++d) days.push_back(generated.day(d));
+
+  // The deserializer's path: rebuild a history from explicit days and check
+  // it is indistinguishable from the generated one.
+  const CalibrationHistory wrapped(std::move(days));
+  ASSERT_EQ(wrapped.days(), generated.days());
+  for (int d = 0; d < wrapped.days(); ++d) {
+    EXPECT_EQ(wrapped.day(d).feature_vector(), generated.day(d).feature_vector());
+    EXPECT_EQ(wrapped.date_string(d), generated.date_string(d));
+  }
+  EXPECT_THROW(CalibrationHistory(std::vector<Calibration>{}), PreconditionError);
+}
+
 TEST(History, OfflineOnlineSplitConstants) {
   EXPECT_EQ(CalibrationHistory::kOfflineDays, 243);
   EXPECT_EQ(CalibrationHistory::kOnlineDays, 146);

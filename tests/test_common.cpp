@@ -228,6 +228,23 @@ TEST(Status, FactoriesCarryCodeAndMessage) {
             "deadline_exceeded: x");
 }
 
+TEST(Status, DataLossFactoryAndFromCode) {
+  const Status loss = Status::data_loss("crc mismatch");
+  EXPECT_EQ(loss.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(loss.to_string(), "data_loss: crc mismatch");
+
+  // from_code is the wire decoder's rebuild path: any transported non-OK
+  // (code, message) pair must round-trip, and an OK code must collapse to
+  // the singleton OK status with the message discarded.
+  const Status rebuilt =
+      Status::from_code(StatusCode::kDataLoss, loss.message());
+  EXPECT_EQ(rebuilt.code(), loss.code());
+  EXPECT_EQ(rebuilt.message(), loss.message());
+  const Status ok = Status::from_code(StatusCode::kOk, "ignored");
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.to_string(), "ok");
+}
+
 TEST(StatusOr, HoldsValue) {
   StatusOr<int> result = 42;
   ASSERT_TRUE(result.ok());
