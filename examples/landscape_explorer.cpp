@@ -3,7 +3,9 @@
 // for plotting with any external tool:
 //   landscape_explorer > surface.csv
 
+#include <charconv>
 #include <cmath>
+#include <cstring>
 #include <iostream>
 
 #include "noise/calibration_history.hpp"
@@ -14,7 +16,19 @@
 using namespace qucad;
 
 int main(int argc, char** argv) {
-  const int grid = argc > 1 ? std::max(5, std::atoi(argv[1])) : 33;
+  // from_chars instead of atoi: a non-numeric argument is reported, not
+  // silently read as 0 (cert-err34-c).
+  int grid = 33;
+  if (argc > 1) {
+    int parsed = 0;
+    const auto [ptr, ec] =
+        std::from_chars(argv[1], argv[1] + std::strlen(argv[1]), parsed);
+    if (ec != std::errc() || *ptr != '\0') {
+      std::cerr << "usage: landscape_explorer [grid-size]\n";
+      return 1;
+    }
+    grid = std::max(5, parsed);
+  }
 
   const CalibrationHistory history(FluctuationScenario::belem(),
                                    CalibrationHistory::kTotalDays, 2021);

@@ -21,9 +21,13 @@
 //   --offline-days N  offline window for the first-launch build (default 40)
 //   --expose          bind all interfaces instead of loopback only
 
+// NOLINTNEXTLINE(modernize-deprecated-headers): POSIX sigset_t/pthread_sigmask
+// live in <signal.h>; <csignal> only guarantees std::signal/std::raise.
 #include <signal.h>
 
+#include <charconv>
 #include <cstdint>
+#include <cstring>
 #include <iostream>
 #include <string>
 #include <utility>
@@ -48,6 +52,15 @@ struct Args {
   bool expose = false;
 };
 
+// from_chars instead of stoi: a non-numeric or out-of-range value becomes a
+// usage error instead of an uncaught std::invalid_argument from main.
+template <typename Int>
+bool parse_int(const char* v, Int& out) {
+  if (v == nullptr) return false;
+  const auto [ptr, ec] = std::from_chars(v, v + std::strlen(v), out);
+  return ec == std::errc() && *ptr == '\0';
+}
+
 bool parse_args(int argc, char** argv, Args& args) {
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -55,17 +68,13 @@ bool parse_args(int argc, char** argv, Args& args) {
       return i + 1 < argc ? argv[++i] : nullptr;
     };
     if (flag == "--port") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      args.port = static_cast<std::uint16_t>(std::stoi(v));
+      if (!parse_int(next(), args.port)) return false;
     } else if (flag == "--artifacts") {
       const char* v = next();
       if (v == nullptr) return false;
       args.artifacts = v;
     } else if (flag == "--offline-days") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      args.offline_days = std::stoi(v);
+      if (!parse_int(next(), args.offline_days)) return false;
     } else if (flag == "--expose") {
       args.expose = true;
     } else {

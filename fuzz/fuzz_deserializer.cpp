@@ -1,0 +1,117 @@
+// Fuzz target for io/serializer.hpp's Deserializer — the lowest layer of
+// the untrusted io/wire boundary. The input bytes are both the opcode
+// stream and the data stream: each iteration consumes one opcode byte from
+// the cursor and performs the selected read on the same cursor, so the
+// fuzzer explores every interleaving of typed reads over arbitrary bytes.
+//
+// Contract under test (see serializer.hpp): a read never throws, never
+// reads past the buffer, and reports truncation/corruption as a Status.
+// The harness additionally checks cursor sanity after every call —
+// offset() can never exceed the buffer and remaining() must stay
+// consistent with it — and that crc32 is deterministic.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "io/serializer.hpp"
+
+namespace {
+
+// Fuzz invariant check: abort (the fuzzing failure signal), don't throw.
+void check(bool condition) {
+  if (!condition) __builtin_trap();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::span<const std::uint8_t> bytes(data, size);
+  check(qucad::crc32(bytes) == qucad::crc32(bytes));
+
+  qucad::Deserializer in(bytes);
+  while (!in.exhausted()) {
+    std::uint8_t op = 0;
+    if (!in.read_u8(op).ok()) break;
+    const std::size_t before = in.offset();
+    switch (op % 12) {
+      case 0: {
+        std::uint8_t v = 0;
+        (void)in.read_u8(v);
+        break;
+      }
+      case 1: {
+        std::uint32_t v = 0;
+        (void)in.read_u32(v);
+        break;
+      }
+      case 2: {
+        std::uint64_t v = 0;
+        (void)in.read_u64(v);
+        break;
+      }
+      case 3: {
+        std::int32_t v = 0;
+        (void)in.read_i32(v);
+        break;
+      }
+      case 4: {
+        double v = 0.0;
+        (void)in.read_f64(v);
+        break;
+      }
+      case 5: {
+        bool v = false;
+        (void)in.read_bool(v);
+        break;
+      }
+      case 6: {
+        std::string v;
+        const qucad::Status s = in.read_string(v);
+        // A corrupt length prefix must never produce a string larger than
+        // the bytes that were actually available.
+        check(!s.ok() || v.size() <= size);
+        break;
+      }
+      case 7: {
+        std::vector<double> v;
+        const qucad::Status s = in.read_f64_vector(v);
+        check(!s.ok() || v.size() * 8 <= size);
+        break;
+      }
+      case 8: {
+        std::vector<std::uint8_t> v;
+        const qucad::Status s = in.read_u8_vector(v);
+        check(!s.ok() || v.size() <= size);
+        break;
+      }
+      case 9: {
+        std::optional<std::uint64_t> v;
+        (void)in.read_optional_u64(v);
+        break;
+      }
+      case 10: {
+        // Span count derived from the input so truncated requests are hit.
+        std::span<const std::uint8_t> v;
+        const qucad::Status s = in.read_span(op * 7u, v);
+        check(!s.ok() || v.size() == op * 7u);
+        break;
+      }
+      case 11: {
+        // Oversized request: must fail cleanly, never move the cursor.
+        std::span<const std::uint8_t> v;
+        check(!in.read_span(size + 1, v).ok());
+        check(in.offset() == before);
+        break;
+      }
+    }
+    check(in.offset() <= size);
+    check(in.remaining() == size - in.offset());
+    check(in.exhausted() == (in.remaining() == 0));
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Fuzz target for the wire frame decoders (io/wire.hpp) — the payload
+// bytes a network peer controls after the length prefix. The input is one
+// frame payload (type byte + body); the harness feeds it to all four
+// decoders, so the type byte steers it down the matching decode path
+// while the other three exercise their reject-wrong-type path.
+//
+// Contract under test: decoders never throw (a hostile calibration push
+// must come back kDataLoss, not a PreconditionError or a multi-gigabyte
+// allocation), never read out of bounds, and never partially mutate their
+// output. Accepted messages must re-encode canonically: encode(decode(x))
+// decodes again and re-encodes to the same bytes.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "io/wire.hpp"
+#include "noise/calibration.hpp"
+
+namespace {
+
+void check(bool condition) {
+  if (!condition) __builtin_trap();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::span<const std::uint8_t> payload(data, size);
+
+  std::vector<double> features;
+  if (qucad::decode_predict_request(payload, features).ok()) {
+    // The request encoding has no redundancy and the decoder requires the
+    // payload to be exhausted, so an accepted payload IS the canonical
+    // encoding of its features.
+    const std::vector<std::uint8_t> canonical =
+        qucad::encode_predict_request(features);
+    check(canonical == std::vector<std::uint8_t>(data, data + size));
+  }
+
+  const qucad::StatusOr<qucad::Prediction> response =
+      qucad::decode_predict_response(payload);
+  if (response.ok()) {
+    const std::vector<std::uint8_t> canonical =
+        qucad::encode_predict_response(response);
+    const qucad::StatusOr<qucad::Prediction> again =
+        qucad::decode_predict_response(canonical);
+    check(again.ok());
+    check(qucad::encode_predict_response(again) == canonical);
+  }
+
+  qucad::Calibration calibration;
+  if (qucad::decode_calibration_push(payload, calibration).ok()) {
+    // Edges are normalized (a <= b) on construction, so the canonical
+    // re-encoding may differ from the accepted input — idempotence is the
+    // invariant, not byte identity.
+    const std::vector<std::uint8_t> canonical =
+        qucad::encode_calibration_push(calibration);
+    qucad::Calibration again;
+    check(qucad::decode_calibration_push(canonical, again).ok());
+    check(qucad::encode_calibration_push(again) == canonical);
+  }
+
+  const qucad::StatusOr<qucad::WireCalibrationAck> ack =
+      qucad::decode_calibration_ack(payload);
+  if (ack.ok()) {
+    const std::vector<std::uint8_t> canonical =
+        qucad::encode_calibration_ack(ack);
+    const qucad::StatusOr<qucad::WireCalibrationAck> again =
+        qucad::decode_calibration_ack(canonical);
+    check(again.ok());
+    check(qucad::encode_calibration_ack(again) == canonical);
+  }
+  return 0;
+}

@@ -1,0 +1,173 @@
+// Standalone driver for the fuzz targets when the compiler has no
+// libFuzzer (-fsanitize=fuzzer is Clang-only; GCC builds link this file
+// instead). It replays every corpus input through LLVMFuzzerTestOneInput
+// and can then run a bounded deterministic mutation campaign over the
+// corpus — not coverage-guided, but under ASan+UBSan it still shakes out
+// the crash/overflow/unbounded-allocation class of decoder bugs locally
+// and keeps the corpus a regression battery on toolchains without Clang.
+//
+// Usage: fuzz_<target> [--mutate N] [--seed S] [--max-len L] <file|dir>...
+//   --mutate N   after replaying the corpus, run N mutated inputs derived
+//                from it (default 0: replay only, the CI smoke shape)
+//   --seed S     xorshift seed for the mutation campaign (default 1)
+//   --max-len L  cap generated input length (default 1 MiB)
+//
+// Exit is nonzero on usage errors only; harness failures abort the
+// process (sanitizer report or __builtin_trap), exactly like libFuzzer.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+std::uint64_t xorshift(std::uint64_t& state) {
+  state ^= state << 13;
+  state ^= state >> 7;
+  state ^= state << 17;
+  return state;
+}
+
+bool read_file(const std::filesystem::path& path,
+               std::vector<std::uint8_t>& out) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good()) return false;
+  out.assign(std::istreambuf_iterator<char>(is),
+             std::istreambuf_iterator<char>());
+  return !is.bad();
+}
+
+// One mutation step in the style of libFuzzer's default mutator: bit
+// flips, byte sets, truncation/extension, and interesting-integer splices
+// (the values length-prefix parsers are most likely to mishandle).
+void mutate(std::vector<std::uint8_t>& input, std::uint64_t& rng,
+            std::size_t max_len) {
+  static constexpr std::uint64_t kInteresting[] = {
+      0,    1,          0x7F,       0x80,       0xFF,       0x100,
+      0x7FFF, 0xFFFF,   0x7FFFFFFF, 0x80000000, 0xFFFFFFFF,
+      0x7FFFFFFFFFFFFFFFull, 0xFFFFFFFFFFFFFFFFull};
+  switch (xorshift(rng) % 6) {
+    case 0:  // flip one bit
+      if (!input.empty()) {
+        const std::size_t i = xorshift(rng) % input.size();
+        input[i] ^= static_cast<std::uint8_t>(1u << (xorshift(rng) % 8));
+      }
+      break;
+    case 1:  // overwrite one byte
+      if (!input.empty()) {
+        input[xorshift(rng) % input.size()] =
+            static_cast<std::uint8_t>(xorshift(rng));
+      }
+      break;
+    case 2:  // truncate
+      if (!input.empty()) input.resize(xorshift(rng) % input.size());
+      break;
+    case 3:  // append random bytes
+      for (std::size_t n = xorshift(rng) % 9; n > 0 && input.size() < max_len;
+           --n) {
+        input.push_back(static_cast<std::uint8_t>(xorshift(rng)));
+      }
+      break;
+    case 4: {  // splice an interesting integer (1/2/4/8 bytes, LE)
+      const std::uint64_t value =
+          kInteresting[xorshift(rng) %
+                       (sizeof(kInteresting) / sizeof(kInteresting[0]))];
+      const std::size_t width = std::size_t{1} << (xorshift(rng) % 4);
+      if (input.size() >= width) {
+        const std::size_t at = xorshift(rng) % (input.size() - width + 1);
+        for (std::size_t b = 0; b < width; ++b) {
+          input[at + b] = static_cast<std::uint8_t>(value >> (8 * b));
+        }
+      }
+      break;
+    }
+    case 5:  // duplicate a chunk to grow structure
+      if (!input.empty() && input.size() < max_len) {
+        const std::size_t from = xorshift(rng) % input.size();
+        const std::size_t len =
+            1 + xorshift(rng) % (input.size() - from);
+        const std::vector<std::uint8_t> chunk(
+            input.begin() + static_cast<std::ptrdiff_t>(from),
+            input.begin() + static_cast<std::ptrdiff_t>(from + len));
+        const std::size_t at = xorshift(rng) % (input.size() + 1);
+        input.insert(input.begin() + static_cast<std::ptrdiff_t>(at),
+                     chunk.begin(), chunk.end());
+        if (input.size() > max_len) input.resize(max_len);
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t rounds = 0;
+  std::uint64_t seed = 1;
+  std::size_t max_len = std::size_t{1} << 20;
+  std::vector<std::filesystem::path> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--mutate" && i + 1 < argc) {
+      rounds = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--max-len" && i + 1 < argc) {
+      max_len = std::strtoull(argv[++i], nullptr, 10);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return 2;
+    } else {
+      paths.emplace_back(arg);
+    }
+  }
+
+  // Collect corpus files (directories are walked one level, like libFuzzer).
+  std::vector<std::vector<std::uint8_t>> corpus;
+  for (const std::filesystem::path& path : paths) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(path, ec)) {
+      for (const auto& entry : std::filesystem::directory_iterator(path, ec)) {
+        std::vector<std::uint8_t> bytes;
+        if (entry.is_regular_file() && read_file(entry.path(), bytes)) {
+          corpus.push_back(std::move(bytes));
+        }
+      }
+    } else {
+      std::vector<std::uint8_t> bytes;
+      if (!read_file(path, bytes)) {
+        std::fprintf(stderr, "cannot read %s\n", path.c_str());
+        return 2;
+      }
+      corpus.push_back(std::move(bytes));
+    }
+  }
+
+  // Always exercise the empty input, then replay the corpus verbatim.
+  (void)LLVMFuzzerTestOneInput(nullptr, 0);
+  for (const std::vector<std::uint8_t>& input : corpus) {
+    (void)LLVMFuzzerTestOneInput(input.data(), input.size());
+  }
+  std::printf("replayed %zu corpus input(s)\n", corpus.size());
+
+  if (rounds > 0 && !corpus.empty()) {
+    std::uint64_t rng = seed ? seed : 1;
+    for (std::uint64_t round = 0; round < rounds; ++round) {
+      std::vector<std::uint8_t> input = corpus[xorshift(rng) % corpus.size()];
+      const std::uint64_t steps = 1 + xorshift(rng) % 8;
+      for (std::uint64_t s = 0; s < steps; ++s) mutate(input, rng, max_len);
+      (void)LLVMFuzzerTestOneInput(input.data(), input.size());
+    }
+    std::printf("ran %llu mutated input(s) (seed %llu)\n",
+                static_cast<unsigned long long>(rounds),
+                static_cast<unsigned long long>(seed));
+  }
+  return 0;
+}

@@ -33,7 +33,7 @@ Circuit& Circuit::add_rotation(GateKind kind, int q0, int q1, ParamRef p,
     q1 = -1;
   }
   note_param(p);
-  gates_.push_back(Gate{kind, q0, q1, p, angle});
+  gates_.emplace_back(kind, q0, q1, p, angle);
   return *this;
 }
 

@@ -50,6 +50,15 @@ Status decode_calibration(Deserializer& in, Calibration& out) {
   if (num_qubits <= 0) {
     return Status::data_loss("calibration qubit count must be positive");
   }
+  // Every qubit owes at least 40 payload bytes (sx f64 + readout 2xf64 +
+  // T1/T2 2xf64), so a count beyond remaining/40 is corrupt. Checking here
+  // bounds the Calibration constructor's five per-qubit allocations by the
+  // input size — without it a 16-byte frame claiming INT32_MAX qubits
+  // forces a multi-GB allocation and the resulting bad_alloc is not a
+  // PreconditionError, so it would escape the decoder's no-throw contract.
+  if (static_cast<std::uint64_t>(num_qubits) > in.remaining() / 40) {
+    return Status::data_loss("calibration qubit count exceeds payload");
+  }
   std::uint64_t edge_count = 0;
   if (Status s = in.read_u64(edge_count); !s.ok()) return s;
   // Two i32 per edge: a count beyond the remaining bytes is corrupt.

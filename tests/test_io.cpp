@@ -380,6 +380,35 @@ TEST(IoArtifacts, MissingSectionRejected) {
   EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
 }
 
+// Pinned fuzzer find (fuzz_artifact_container, fuzz/corpus/
+// artifact_container/huge_qubit_count_repro): a CRC-valid container whose
+// calibration-history section claims a day with INT32_MAX qubits behind a
+// 20-byte payload. The qubit count must fail the payload-size bound and
+// come back as kDataLoss before the Calibration constructor can turn it
+// into a multi-gigabyte allocation (whose bad_alloc would escape the
+// deserializer's no-throw contract).
+TEST(IoArtifacts, HugeQubitCountInHistorySectionRejectedWithoutAllocating) {
+  Serializer day;
+  day.write_u64(1);  // day count
+  day.write_i32(std::numeric_limits<std::int32_t>::max());  // num_qubits
+  day.write_u64(0);  // edge count
+  const std::vector<std::uint8_t>& payload = day.bytes();
+
+  Serializer file;
+  file.write_raw(std::span<const std::uint8_t>(kArtifactMagic,
+                                               sizeof(kArtifactMagic)));
+  file.write_u32(kArtifactFormatVersion);
+  file.write_u32(1);  // section count
+  file.write_u32(kSectionCalibrationHistory);
+  file.write_u64(payload.size());
+  file.write_u32(crc32(payload));
+  file.write_raw(payload);
+
+  const StatusOr<Artifacts> result = deserialize_artifacts(file.bytes());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+}
+
 TEST(IoArtifacts, SemanticallyInvalidValuesRejectedNotThrown) {
   // A CRC-valid artifact whose calibration carries an illegal error rate:
   // re-encode a golden calibration day with sx pushed out of [0,1). The

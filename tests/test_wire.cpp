@@ -16,6 +16,7 @@
 
 #include <bit>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <thread>
 #include <utility>
@@ -83,6 +84,27 @@ TEST(WireCodec, CalibrationPushRoundTrips) {
       decode_calibration_push(encode_calibration_push(c), decoded).ok());
   EXPECT_EQ(decoded.num_qubits(), 3);
   EXPECT_EQ(decoded.feature_vector(), c.feature_vector());
+}
+
+// Pinned fuzzer find (fuzz_wire_frame, fuzz/corpus/wire_frame/
+// huge_qubit_count_repro): a 13-byte push frame claiming INT32_MAX qubits.
+// Before the decode-side bound, Calibration's constructor allocated five
+// per-qubit vectors from the attacker-controlled count *before* any payload
+// byte backed it, and the resulting bad_alloc is not a PreconditionError —
+// it escaped the decoder's no-throw contract and terminated the server
+// thread. The count must be rejected as kDataLoss from bounds math alone,
+// before any allocation.
+TEST(WireCodec, CalibrationPushHugeQubitCountRejectedWithoutAllocating) {
+  std::vector<std::uint8_t> frame;
+  frame.push_back(3);  // kCalibrationPush
+  const std::int32_t qubits = std::numeric_limits<std::int32_t>::max();
+  for (int b = 0; b < 4; ++b) {
+    frame.push_back(static_cast<std::uint8_t>(qubits >> (8 * b)));
+  }
+  for (int b = 0; b < 8; ++b) frame.push_back(0);  // edge_count = 0
+  Calibration decoded;
+  EXPECT_EQ(decode_calibration_push(frame, decoded).code(),
+            StatusCode::kDataLoss);
 }
 
 TEST(WireCodec, CalibrationAckRoundTrips) {
