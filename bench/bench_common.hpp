@@ -21,7 +21,10 @@
 #include "data/iris_synth.hpp"
 #include "data/mnist_synth.hpp"
 #include "data/seismic_synth.hpp"
+#include "data/vibration_synth.hpp"
 #include "eval/harness.hpp"
+#include "fleet/device_spec.hpp"
+#include "fleet/drift_stream.hpp"
 #include "noise/calibration_history.hpp"
 #include "qnn/eval_cache.hpp"
 
@@ -31,6 +34,7 @@ inline Dataset make_dataset(const std::string& name) {
   if (name == "mnist4") return make_mnist4(2000, 24);
   if (name == "iris") return make_iris(150, 7);
   if (name == "seismic") return make_seismic(1500, 11);
+  if (name == "vibration") return make_vibration(2000, 23);
   require(false, "unknown dataset " + name);
   return {};
 }
@@ -52,14 +56,26 @@ inline PipelineConfig paper_config(const std::string& dataset) {
   return config;
 }
 
-inline CalibrationHistory belem_history() {
-  return CalibrationHistory(FluctuationScenario::belem(),
-                            CalibrationHistory::kTotalDays, /*seed=*/2021);
+/// Synthesizes a device's calibration stream through the fleet machinery
+/// (fleet::DriftStream) — the one calibration-generation code path the
+/// paper-figure benches and the fleet simulator share. A bench
+/// misconfiguration is a bug, so failures abort through require().
+inline CalibrationHistory device_history(
+    const fleet::DeviceSpec& spec,
+    int days = CalibrationHistory::kTotalDays) {
+  StatusOr<fleet::DriftStream> stream = fleet::DriftStream::create(spec, days);
+  require(stream.ok(), stream.status().to_string());
+  return stream->history();
 }
 
+/// The fig. 1/2/4 belem device (drift seed 2021, no maintenance events).
+inline CalibrationHistory belem_history() {
+  return device_history(fleet::DeviceSpec::belem());
+}
+
+/// The fig. 8 jakarta device (drift seed 1107).
 inline CalibrationHistory jakarta_history() {
-  return CalibrationHistory(FluctuationScenario::jakarta(),
-                            CalibrationHistory::kTotalDays, /*seed=*/1107);
+  return device_history(fleet::DeviceSpec::jakarta());
 }
 
 /// Dates of the online window for series printing.

@@ -12,7 +12,10 @@ using namespace qucad;
 using namespace qucad::bench;
 
 int main() {
-  const CalibrationHistory history = belem_history();
+  // The fig. 4 device as a fleet DeviceSpec: the same drift machinery the
+  // fleet simulator runs, specialized to one belem-topology device.
+  const fleet::DeviceSpec device = fleet::DeviceSpec::belem();
+  const CalibrationHistory history = device_history(device);
   // Analogues of the paper's 02/12, 03/15, 04/25: a quiet day, the <1,2>
   // episode peak, and the <3,4> episode peak.
   const int days[3] = {290, 313, 347};
@@ -35,9 +38,10 @@ int main() {
   }
   noise_table.print(std::cout);
 
-  const Environment env =
-      prepare_environment(make_dataset("mnist4"), CouplingMap::belem(),
-                          history.day(0), paper_config("mnist4"));
+  const StatusOr<CouplingMap> coupling = device.coupling();
+  require(coupling.ok(), coupling.status().to_string());
+  const Environment env = prepare_environment(
+      make_dataset("mnist4"), *coupling, history.day(0), paper_config("mnist4"));
 
   std::cout << "\n=== Fig. 4(b): compress on each day, test on following days "
                "===\n\n";

@@ -11,7 +11,10 @@ using namespace qucad;
 using namespace qucad::bench;
 
 int main() {
-  const CalibrationHistory history = jakarta_history();
+  // The fig. 8 device as a fleet DeviceSpec — same generator as the fleet
+  // simulator's jakarta devices.
+  const fleet::DeviceSpec device = fleet::DeviceSpec::jakarta();
+  const CalibrationHistory history = device_history(device);
   // Subsample the offline history 3x: 7-qubit density matrices are ~16x
   // more expensive than belem's and the clusters are unchanged.
   std::vector<Calibration> offline;
@@ -22,8 +25,10 @@ int main() {
   PipelineConfig config = paper_config("seismic");
   config.profile_samples = 32;
   config.constructor_options.profile_samples = 32;
-  const Environment env = prepare_environment(
-      make_dataset("seismic"), CouplingMap::jakarta(), history.day(0), config);
+  const StatusOr<CouplingMap> coupling = device.coupling();
+  require(coupling.ok(), coupling.status().to_string());
+  const Environment env = prepare_environment(make_dataset("seismic"),
+                                              *coupling, history.day(0), config);
 
   // Five "execution rounds" at different times in the online window,
   // including the edge-<1,3> episode around day 317.

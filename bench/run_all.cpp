@@ -26,6 +26,7 @@
 #include "bench_common.hpp"
 #include "common/require.hpp"
 #include "common/rng.hpp"
+#include "fleet/harness.hpp"
 #include "io/wire.hpp"
 #include "data/mnist_synth.hpp"
 #include "noise/calibration_history.hpp"
@@ -867,6 +868,110 @@ std::vector<Record> backend_benches() {
 
 /// The wire-protocol record group: a multi-connection load generator
 /// against a WireServer on a loopback ephemeral port. Each connection is a
+// --- fleet simulator ------------------------------------------------------
+
+/// One-repository-many-devices scaling: a full FleetHarness run per fleet
+/// size (4/16/64 heterogeneous belem devices over the same day window),
+/// reporting online serving throughput in device-days/sec, per-device-day
+/// wall-time p50/p99 (as inverse latency so "higher is better" holds for
+/// the regression gate), and the repository reuse rate. The reuse rate is
+/// a deterministic function of (environment, fleet, options) under the
+/// exact density backend, so its baseline is pinned tight and a dedicated
+/// CI step asserts the large-fleet floor.
+std::vector<Record> fleet_benches() {
+  std::vector<Record> records;
+
+  PipelineConfig config;
+  config.max_train_samples = 64;
+  config.max_test_samples = 24;
+  config.profile_samples = 12;
+  config.pretrain.epochs = 4;
+  config.constructor_options.kmeans.k = 2;
+  config.constructor_options.accuracy_requirement = 0.35;
+  config.admm.iterations = 1;
+  config.admm.epochs_per_iteration = 1;
+  config.admm.finetune_epochs = 2;
+  config.admm.validation_samples = 16;
+  config.nat.epochs = 1;
+  config.manager_options.admm = config.admm;
+  const CalibrationHistory day0(FluctuationScenario::belem(), 1, 2021);
+  const Environment env = prepare_environment(
+      make_seismic(240, 11), CouplingMap::belem(), day0.day(0), config);
+
+  for (const int devices : {4, 16, 64}) {
+    fleet::FleetConfig fleet_config =
+        fleet::FleetConfig::heterogeneous(devices, 5, 8);
+    fleet::FleetOptions options;
+    options.offline_days = 4;
+    options.online_days = 3;
+    options.offline_stride = 2;
+    options.max_eval_samples = 16;
+
+    StatusOr<fleet::FleetHarness> harness =
+        fleet::FleetHarness::create(env, fleet_config, options);
+    require(harness.ok(), harness.status().to_string());
+
+    const auto start = Clock::now();
+    StatusOr<fleet::FleetResult> result = harness->run();
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    require(result.ok(), result.status().to_string());
+
+    const std::string params = "devices=" + std::to_string(devices) +
+                               ",days=3,workload=seismic";
+    std::vector<double> day_seconds;
+    double serving_seconds = 0.0;
+    for (const fleet::FleetDeviceResult& device : result->devices) {
+      for (const double s : device.day_seconds) {
+        day_seconds.push_back(s);
+        serving_seconds += s;
+      }
+    }
+    const auto device_days = static_cast<std::int64_t>(day_seconds.size());
+
+    Record throughput;
+    throughput.name = "fleet_throughput";
+    throughput.params = params;
+    throughput.iters = device_days;
+    throughput.seconds = elapsed;  // whole run, offline build included
+    throughput.throughput = serving_seconds > 0.0
+                                ? static_cast<double>(device_days) /
+                                      serving_seconds
+                                : 0.0;
+    throughput.unit = "device-days/sec (online window)";
+    records.push_back(throughput);
+
+    std::sort(day_seconds.begin(), day_seconds.end());
+    const auto rank = [&](double p) {
+      const auto r = static_cast<std::size_t>(
+          p * static_cast<double>(day_seconds.size() - 1) + 0.5);
+      return day_seconds[std::min(r, day_seconds.size() - 1)];
+    };
+    for (const auto& [name, p] :
+         {std::pair<const char*, double>{"fleet_day_p50", 0.5},
+          std::pair<const char*, double>{"fleet_day_p99", 0.99}}) {
+      Record latency;
+      latency.name = name;
+      latency.params = params;
+      latency.iters = device_days;
+      latency.seconds = rank(p);
+      latency.throughput = rank(p) > 0.0 ? 1.0 / rank(p) : 0.0;
+      latency.unit = "1/sec (inverse device-day latency)";
+      records.push_back(latency);
+    }
+
+    Record reuse;
+    reuse.name = "fleet_reuse_rate";
+    reuse.params = params;
+    reuse.iters = result->decisions();
+    reuse.seconds = elapsed;
+    reuse.throughput = result->reuse_rate();
+    reuse.unit = "fraction of decisions answered from the repository";
+    records.push_back(reuse);
+  }
+  return records;
+}
+
 /// thread with its own WireClient issuing synchronous predicts, so every
 /// request pays the full deployment path — frame encode, TCP round-trip,
 /// server decode, a blocking submit through the shard dispatchers, and the
@@ -997,6 +1102,7 @@ int main(int argc, char** argv) {
     write_group(dir, "serving", serving_benches());
     write_group(dir, "backends", backend_benches());
     write_group(dir, "wire", wire_benches());
+    write_group(dir, "fleet", fleet_benches());
   } catch (const std::exception& e) {
     std::cerr << "run_all: " << e.what() << "\n";
     return 1;

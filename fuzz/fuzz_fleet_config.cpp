@@ -1,0 +1,48 @@
+// Fuzz target for the fleet-config text parser (fleet/device_spec.hpp) —
+// the checked-in/scenario-file surface an operator or CI pipeline feeds the
+// fleet simulator. The input is the raw config text.
+//
+// Contract under test: parse() never throws and never accepts a config that
+// fails validate(); an accepted config re-encodes canonically (to_text is a
+// fixed point under parse), and every accepted device spec is directly
+// usable — its coupling map and perturbed fluctuation scenario construct
+// without error (consumers use parsed specs without re-validating).
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "fleet/device_spec.hpp"
+
+namespace {
+
+void check(bool condition) {
+  if (!condition) __builtin_trap();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  const qucad::StatusOr<qucad::fleet::FleetConfig> parsed =
+      qucad::fleet::FleetConfig::parse(text);
+  if (!parsed.ok()) return 0;
+
+  check(parsed->validate().ok());
+
+  const std::string canonical = parsed->to_text();
+  const qucad::StatusOr<qucad::fleet::FleetConfig> again =
+      qucad::fleet::FleetConfig::parse(canonical);
+  check(again.ok());
+  check(again->to_text() == canonical);
+
+  const std::size_t probe = std::min<std::size_t>(parsed->devices.size(), 4);
+  for (std::size_t i = 0; i < probe; ++i) {
+    check(parsed->devices[i].coupling().ok());
+    check(parsed->devices[i].scenario().ok());
+  }
+  return 0;
+}

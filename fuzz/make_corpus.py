@@ -142,10 +142,53 @@ def artifact_corpus():
     write(out / "bad_magic", b"NOPE" + u32(1) + u32(0))
 
 
+def fleet_config_corpus():
+    out = CORPUS / "fleet_config"
+    # Accepting seeds spanning the grammar: defaults-only, every device key,
+    # comments/whitespace, and a two-topology fleet (parse accepts it; only
+    # the harness's same-topology rule rejects mixed fleets later).
+    write(out / "minimal", b"device name=a topology=belem\n")
+    write(out / "full_keys",
+          b"fleet days=389 seed=7\n"
+          b"device name=dev0 topology=belem seed=2021 error_scale=1.2 "
+          b"t_scale=0.9 ou_sigma_scale=1.1 baseline_jitter=0.15 "
+          b"episode_shift=-12 maintenance_rate=0.02 maintenance_seed=99\n")
+    write(out / "comments",
+          b"# fleet scenario\n\n"
+          b"fleet days=30 seed=2\n"
+          b"  device name=a topology=belem seed=5  # trailing note\n"
+          b"\tdevice name=b topology=belem seed=6\n")
+    write(out / "two_topologies",
+          b"fleet days=60 seed=3\n"
+          b"device name=b0 topology=belem seed=1\n"
+          b"device name=j0 topology=jakarta seed=2\n")
+    # Named reject path: unknown key (mutation should flip it into accepts).
+    write(out / "unknown_key_reject",
+          b"device name=a topology=belem warp_factor=9\n")
+
+
+def transpile_corpus():
+    out = CORPUS / "transpile"
+    # The harness reads the input as a byte-driven spec stream (topology,
+    # qubit/gate counts, per-gate kind/operand/angle bytes), so structured
+    # seeds just need enough bytes to route a non-trivial circuit.
+    write(out / "belem_dense", bytes([0, 4]) + bytes(range(3, 96)))
+    write(out / "jakarta_wide", bytes([1, 6]) + bytes((7 * i + 5) % 251 for i in range(120)))
+    write(out / "line_hostile", bytes([2, 5, 3]) + bytes((13 * i) % 256 for i in range(80)))
+    write(out / "ring_symbolic", bytes([3, 4, 2]) + bytes((29 * i + 1) % 256 for i in range(100)))
+    # Pinned reproducer: an out-of-range readout qubit reaching the
+    # noise-aware layout search used to read past the candidate layout in
+    # layout_cost (heap-buffer-overflow); transpile_model must reject it
+    # up front. Regression-tested in tests/test_transpile.cpp.
+    write(out / "hostile_readout_repro", bytes(7))
+
+
 def main():
     deserializer_corpus()
     wire_corpus()
     artifact_corpus()
+    fleet_config_corpus()
+    transpile_corpus()
 
 
 if __name__ == "__main__":

@@ -1,0 +1,145 @@
+#include "data/vibration_synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace qucad {
+
+namespace {
+
+constexpr std::size_t kTraceLength = 256;
+constexpr double kTwoPi = 6.28318530717958647692;
+
+/// Goertzel magnitude of `waveform` at normalized frequency `freq`
+/// (cycles per sample).
+double goertzel_magnitude(const std::vector<double>& waveform, double freq) {
+  const double omega = kTwoPi * freq;
+  const double coeff = 2.0 * std::cos(omega);
+  double s0 = 0.0;
+  double s1 = 0.0;
+  double s2 = 0.0;
+  for (double v : waveform) {
+    s0 = v + coeff * s1 - s2;
+    s2 = s1;
+    s1 = s0;
+  }
+  return std::sqrt(std::max(0.0, s1 * s1 + s2 * s2 - coeff * s1 * s2));
+}
+
+}  // namespace
+
+std::vector<double> vibration_waveform(int klass, Rng& rng, double snr_db) {
+  require(klass >= 0 && klass < 4, "vibration class must be in [0, 4)");
+  std::vector<double> trace(kTraceLength);
+
+  // Shared machine state: rotation fundamental (jittered per trace) and
+  // broadband sensor noise.
+  const double f0 = rng.uniform(0.035, 0.055);  // cycles/sample
+  const double phase = rng.uniform(0.0, kTwoPi);
+  const double signal = std::pow(10.0, snr_db / 20.0);
+  for (std::size_t t = 0; t < kTraceLength; ++t) {
+    trace[t] = rng.normal(0.0, 1.0);
+  }
+
+  // Every machine carries some 1x tone; the classes differ in what rides on
+  // top of it.
+  double amp_1x = 0.25 * signal * rng.uniform(0.8, 1.2);
+  double amp_2x = 0.1 * amp_1x;
+  if (klass == 1) amp_1x = signal * rng.uniform(0.9, 1.3);           // imbalance
+  if (klass == 2) amp_2x = 0.9 * signal * rng.uniform(0.9, 1.3);    // misalignment
+  for (std::size_t t = 0; t < kTraceLength; ++t) {
+    const double x = kTwoPi * f0 * static_cast<double>(t) + phase;
+    trace[t] += amp_1x * std::sin(x) + amp_2x * std::sin(2.0 * x);
+  }
+
+  if (klass == 3) {
+    // Bearing fault: impulses at the defect passing rate, each ringing at a
+    // high structural resonance and decaying fast. The decay must die well
+    // within one period — overlapping bursts smear into a tone and the
+    // impulsiveness (kurtosis/crest) signature disappears.
+    const double impact_rate = f0 * rng.uniform(0.9, 1.3);
+    const double period = 1.0 / impact_rate;
+    const double ring_freq = rng.uniform(0.30, 0.42);
+    const double decay = rng.uniform(0.5, 0.9);
+    const double amp = 2.2 * signal * rng.uniform(0.85, 1.25);
+    double onset = rng.uniform(0.0, period);
+    while (onset < static_cast<double>(kTraceLength)) {
+      const std::size_t start = static_cast<std::size_t>(onset);
+      for (std::size_t t = start; t < std::min(start + 16, kTraceLength); ++t) {
+        const double dt = static_cast<double>(t) - onset;
+        trace[t] += amp * std::exp(-decay * dt) * std::sin(kTwoPi * ring_freq * dt);
+      }
+      onset += period * rng.uniform(0.95, 1.05);
+    }
+  }
+  return trace;
+}
+
+std::vector<double> vibration_features(const std::vector<double>& waveform) {
+  require(waveform.size() >= 64, "vibration trace too short");
+  const std::size_t n = waveform.size();
+
+  double energy = 0.0;
+  double peak = 0.0;
+  double mean_v = 0.0;
+  for (double v : waveform) {
+    energy += v * v;
+    peak = std::max(peak, std::abs(v));
+    mean_v += v;
+  }
+  mean_v /= static_cast<double>(n);
+  const double rms = std::sqrt(energy / static_cast<double>(n));
+  const double log_energy = std::log10(energy + 1e-12);
+  const double crest = rms > 1e-12 ? peak / rms : 0.0;
+
+  // The rotation fundamental is jittered per trace, so scan the plausible
+  // band for the strongest 1x line and read the 2x magnitude at its double.
+  double best_1x = 0.0;
+  double best_f = 0.045;
+  for (double f = 0.030; f <= 0.060; f += 0.002) {
+    const double mag = goertzel_magnitude(waveform, f);
+    if (mag > best_1x) {
+      best_1x = mag;
+      best_f = f;
+    }
+  }
+  const double mag_2x = goertzel_magnitude(waveform, 2.0 * best_f);
+  const double harmonic_ratio = best_1x > 1e-9 ? mag_2x / best_1x : 0.0;
+
+  double m2 = 0.0;
+  double m4 = 0.0;
+  for (double v : waveform) {
+    const double d = v - mean_v;
+    m2 += d * d;
+    m4 += d * d * d * d;
+  }
+  m2 /= static_cast<double>(n);
+  m4 /= static_cast<double>(n);
+  const double kurtosis = m2 > 1e-12 ? m4 / (m2 * m2) - 3.0 : 0.0;
+
+  return {log_energy, harmonic_ratio, kurtosis, crest};
+}
+
+Dataset make_vibration(std::size_t samples, std::uint64_t seed, double snr_db) {
+  require(samples >= 4, "need at least one sample per class");
+  Rng rng(seed);
+  Dataset data;
+  data.name = "vibration-synth";
+  data.num_classes = 4;
+  data.features.reserve(samples);
+  data.labels.reserve(samples);
+
+  for (std::size_t i = 0; i < samples; ++i) {
+    const int klass = static_cast<int>(i % 4);
+    // Per-trace SNR jitter keeps the class boundaries soft.
+    const double snr = snr_db + rng.normal(0.0, 2.5);
+    const std::vector<double> trace = vibration_waveform(klass, rng, snr);
+    data.features.push_back(vibration_features(trace));
+    data.labels.push_back(klass);
+  }
+  return data;
+}
+
+}  // namespace qucad

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.hpp"
+
+namespace qucad {
+
+/// Synthetic rotating-machinery vibration diagnosis: 4-class classification
+/// of 256-sample accelerometer traces from a simulated sensor stream —
+/// the fleet harness's "workload the repository was not tuned on".
+/// Classes model the classic fault signatures:
+///   0: healthy       (small 1x rotation tone + noise)
+///   1: imbalance     (dominant 1x tone)
+///   2: misalignment  (strong 2x harmonic)
+///   3: bearing fault (periodic high-frequency impulsive bursts)
+/// Four diagnostic features are extracted per trace:
+///   0: log10 signal energy
+///   1: 2x/1x harmonic magnitude ratio (Goertzel)
+///   2: excess kurtosis (impulsiveness)
+///   3: crest factor (peak / RMS)
+Dataset make_vibration(std::size_t samples = 2000, std::uint64_t seed = 23,
+                       double snr_db = 12.0);
+
+/// Raw trace synthesis for class `klass` in [0, 4) (exposed for tests).
+std::vector<double> vibration_waveform(int klass, Rng& rng, double snr_db);
+
+/// Feature extraction used by make_vibration (exposed for tests).
+std::vector<double> vibration_features(const std::vector<double>& waveform);
+
+}  // namespace qucad

@@ -1,0 +1,346 @@
+#include "fleet/device_spec.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <utility>
+
+#include "common/rng.hpp"
+
+namespace qucad::fleet {
+
+namespace {
+
+constexpr int kMaxDays = 4096;
+constexpr std::size_t kMaxDevices = 256;
+
+// Salt of the baseline-jitter draw stream (the maintenance stream uses its
+// own salt in drift_stream.cpp).
+constexpr std::uint64_t kJitterSalt = 0xC2B2AE3D27D4EB4FULL;
+
+bool valid_name(const std::string& name) {
+  if (name.empty() || name.size() > 64) return false;
+  return std::all_of(name.begin(), name.end(), [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+  });
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+bool parse_u64(std::string_view token, std::uint64_t& out) {
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc() && ptr == end;
+}
+
+bool parse_int(std::string_view token, int& out) {
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc() && ptr == end;
+}
+
+bool parse_double(std::string_view token, double& out) {
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc() && ptr == end && std::isfinite(out);
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t' ||
+                        s.front() == '\r')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+DeviceSpec DeviceSpec::belem(std::string name, std::uint64_t drift_seed) {
+  DeviceSpec spec;
+  spec.name = std::move(name);
+  spec.topology = "belem";
+  spec.drift_seed = drift_seed;
+  return spec;
+}
+
+DeviceSpec DeviceSpec::jakarta(std::string name, std::uint64_t drift_seed) {
+  DeviceSpec spec;
+  spec.name = std::move(name);
+  spec.topology = "jakarta";
+  spec.drift_seed = drift_seed;
+  return spec;
+}
+
+Status DeviceSpec::validate() const {
+  if (!valid_name(name)) {
+    return Status::invalid_argument(
+        "device name must be 1-64 chars of [A-Za-z0-9_.-]");
+  }
+  if (topology != "belem" && topology != "jakarta") {
+    return Status::invalid_argument("unknown device topology '" + topology +
+                                    "' (belem | jakarta)");
+  }
+  if (!(error_scale > 0.0 && error_scale <= 100.0)) {
+    return Status::invalid_argument("error_scale must be in (0, 100]");
+  }
+  if (!(t_scale > 0.0 && t_scale <= 100.0)) {
+    return Status::invalid_argument("t_scale must be in (0, 100]");
+  }
+  if (!(ou_sigma_scale >= 0.0 && ou_sigma_scale <= 100.0)) {
+    return Status::invalid_argument("ou_sigma_scale must be in [0, 100]");
+  }
+  if (!(baseline_jitter >= 0.0 && baseline_jitter <= 4.0)) {
+    return Status::invalid_argument("baseline_jitter must be in [0, 4]");
+  }
+  if (episode_shift < -kMaxDays || episode_shift > kMaxDays) {
+    return Status::invalid_argument("episode_shift must be in [-4096, 4096]");
+  }
+  if (!(maintenance_rate >= 0.0 && maintenance_rate <= 1.0)) {
+    return Status::invalid_argument("maintenance_rate must be in [0, 1]");
+  }
+  return Status();
+}
+
+StatusOr<CouplingMap> DeviceSpec::coupling() const {
+  if (topology == "belem") return CouplingMap::belem();
+  if (topology == "jakarta") return CouplingMap::jakarta();
+  return Status::invalid_argument("unknown device topology '" + topology +
+                                  "' (belem | jakarta)");
+}
+
+StatusOr<FluctuationScenario> DeviceSpec::scenario() const {
+  if (Status status = validate(); !status.ok()) return status;
+  FluctuationScenario s = topology == "belem" ? FluctuationScenario::belem()
+                                              : FluctuationScenario::jakarta();
+
+  // Per-parameter lognormal jitter first (fixed draw order: sx, ro, cx),
+  // then the device-wide scales, then clamps into the generator's bands.
+  std::vector<double> sx_jitter(s.sx_base.size(), 1.0);
+  std::vector<double> ro_jitter(s.ro_base.size(), 1.0);
+  std::vector<double> cx_jitter(s.cx_base.size(), 1.0);
+  if (baseline_jitter > 0.0) {
+    Rng rng(drift_seed ^ kJitterSalt);
+    for (double& j : sx_jitter) j = std::exp(rng.normal(0.0, baseline_jitter));
+    for (double& j : ro_jitter) j = std::exp(rng.normal(0.0, baseline_jitter));
+    for (double& j : cx_jitter) j = std::exp(rng.normal(0.0, baseline_jitter));
+  }
+  for (std::size_t q = 0; q < s.sx_base.size(); ++q) {
+    s.sx_base[q] = std::clamp(s.sx_base[q] * error_scale * sx_jitter[q], 1e-6,
+                              2e-2);
+  }
+  for (std::size_t q = 0; q < s.ro_base.size(); ++q) {
+    s.ro_base[q] =
+        std::clamp(s.ro_base[q] * error_scale * ro_jitter[q], 1e-6, 0.2);
+  }
+  for (std::size_t e = 0; e < s.cx_base.size(); ++e) {
+    s.cx_base[e] =
+        std::clamp(s.cx_base[e] * error_scale * cx_jitter[e], 1e-6, 0.25);
+  }
+  s.t1_base_us = std::clamp(s.t1_base_us * t_scale, 20.0, 400.0);
+  s.t2_base_us = std::clamp(s.t2_base_us * t_scale, 10.0, 2.0 * s.t1_base_us);
+  s.ou_sigma = std::clamp(s.ou_sigma * ou_sigma_scale, 0.0, 1.0);
+  s.t_sigma = std::clamp(s.t_sigma * ou_sigma_scale, 0.0, 1.0);
+  for (SpikeEpisode& ep : s.episodes) {
+    ep.start_day += episode_shift;
+    ep.end_day += episode_shift;
+  }
+  return s;
+}
+
+Status FleetConfig::validate() const {
+  if (days < 1 || days > kMaxDays) {
+    return Status::invalid_argument("fleet days must be in [1, 4096]");
+  }
+  if (devices.empty()) {
+    return Status::invalid_argument("fleet needs at least one device");
+  }
+  if (devices.size() > kMaxDevices) {
+    return Status::invalid_argument("fleet is capped at 256 devices");
+  }
+  std::set<std::string> names;
+  for (const DeviceSpec& spec : devices) {
+    if (Status status = spec.validate(); !status.ok()) {
+      return Status::invalid_argument("device '" + spec.name +
+                                      "': " + status.message());
+    }
+    if (!names.insert(spec.name).second) {
+      return Status::invalid_argument("duplicate device name '" + spec.name +
+                                      "'");
+    }
+  }
+  return Status();
+}
+
+FleetConfig FleetConfig::heterogeneous(int num_devices, std::uint64_t seed,
+                                       int days) {
+  FleetConfig config;
+  config.days = days;
+  config.seed = seed;
+  Rng rng(seed);
+  config.devices.reserve(static_cast<std::size_t>(std::max(num_devices, 0)));
+  for (int i = 0; i < num_devices; ++i) {
+    DeviceSpec spec = DeviceSpec::belem("dev" + std::to_string(i),
+                                        seed * 7919 + 104729ULL *
+                                            static_cast<std::uint64_t>(i) + 1);
+    spec.error_scale = rng.uniform(0.7, 1.45);
+    spec.ou_sigma_scale = rng.uniform(0.8, 1.3);
+    spec.baseline_jitter = 0.15;
+    spec.episode_shift = rng.integer(-30, 30);
+    // Half the fleet sees occasional maintenance step-changes; the rest
+    // drifts purely under the OU dynamics.
+    spec.maintenance_rate = (i % 2 == 0) ? 0.02 : 0.0;
+    config.devices.push_back(std::move(spec));
+  }
+  return config;
+}
+
+std::string FleetConfig::to_text() const {
+  std::string out = "fleet days=" + std::to_string(days) +
+                    " seed=" + std::to_string(seed) + "\n";
+  for (const DeviceSpec& spec : devices) {
+    out += "device name=" + spec.name + " topology=" + spec.topology +
+           " seed=" + std::to_string(spec.drift_seed) +
+           " error_scale=" + format_double(spec.error_scale) +
+           " t_scale=" + format_double(spec.t_scale) +
+           " ou_sigma_scale=" + format_double(spec.ou_sigma_scale) +
+           " baseline_jitter=" + format_double(spec.baseline_jitter) +
+           " episode_shift=" + std::to_string(spec.episode_shift) +
+           " maintenance_rate=" + format_double(spec.maintenance_rate) +
+           " maintenance_seed=" + std::to_string(spec.maintenance_seed) + "\n";
+  }
+  return out;
+}
+
+StatusOr<FleetConfig> FleetConfig::parse(std::string_view text) {
+  if (text.size() > (1u << 20)) {
+    return Status::invalid_argument("fleet config exceeds 1 MiB");
+  }
+  FleetConfig config;
+  config.devices.clear();
+  bool saw_fleet_line = false;
+
+  std::size_t pos = 0;
+  int line_number = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? text.size() - pos : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_number;
+
+    if (const std::size_t hash = line.find('#'); hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+
+    auto fail = [&](const std::string& what) -> Status {
+      return Status::invalid_argument("fleet config line " +
+                                      std::to_string(line_number) + ": " + what);
+    };
+
+    // Tokenize on runs of spaces/tabs.
+    std::vector<std::string_view> tokens;
+    std::size_t i = 0;
+    while (i < line.size()) {
+      while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+      std::size_t start = i;
+      while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+      if (i > start) tokens.push_back(line.substr(start, i - start));
+    }
+    if (tokens.empty()) continue;
+    if (tokens.size() > 64) return fail("too many fields");
+
+    const std::string_view head = tokens.front();
+    const bool is_fleet = head == "fleet";
+    const bool is_device = head == "device";
+    if (!is_fleet && !is_device) {
+      return fail("expected 'fleet' or 'device', got '" + std::string(head) +
+                  "'");
+    }
+    if (is_fleet) {
+      if (saw_fleet_line) return fail("duplicate fleet line");
+      saw_fleet_line = true;
+    }
+
+    DeviceSpec spec;
+    std::set<std::string_view> seen_keys;
+    for (std::size_t t = 1; t < tokens.size(); ++t) {
+      const std::string_view token = tokens[t];
+      const std::size_t eq = token.find('=');
+      if (eq == std::string_view::npos || eq == 0) {
+        return fail("expected key=value, got '" + std::string(token) + "'");
+      }
+      const std::string_view key = token.substr(0, eq);
+      const std::string_view value = token.substr(eq + 1);
+      if (value.empty()) return fail("empty value for '" + std::string(key) + "'");
+      if (!seen_keys.insert(key).second) {
+        return fail("duplicate key '" + std::string(key) + "'");
+      }
+
+      bool ok = true;
+      if (is_fleet) {
+        if (key == "days") {
+          ok = parse_int(value, config.days);
+        } else if (key == "seed") {
+          ok = parse_u64(value, config.seed);
+        } else {
+          return fail("unknown fleet key '" + std::string(key) + "'");
+        }
+      } else {
+        if (key == "name") {
+          spec.name = std::string(value);
+        } else if (key == "topology") {
+          spec.topology = std::string(value);
+        } else if (key == "seed") {
+          ok = parse_u64(value, spec.drift_seed);
+        } else if (key == "error_scale") {
+          ok = parse_double(value, spec.error_scale);
+        } else if (key == "t_scale") {
+          ok = parse_double(value, spec.t_scale);
+        } else if (key == "ou_sigma_scale") {
+          ok = parse_double(value, spec.ou_sigma_scale);
+        } else if (key == "baseline_jitter") {
+          ok = parse_double(value, spec.baseline_jitter);
+        } else if (key == "episode_shift") {
+          ok = parse_int(value, spec.episode_shift);
+        } else if (key == "maintenance_rate") {
+          ok = parse_double(value, spec.maintenance_rate);
+        } else if (key == "maintenance_seed") {
+          ok = parse_u64(value, spec.maintenance_seed);
+        } else {
+          return fail("unknown device key '" + std::string(key) + "'");
+        }
+      }
+      if (!ok) {
+        return fail("malformed value for '" + std::string(key) + "': '" +
+                    std::string(value) + "'");
+      }
+    }
+    if (is_device) {
+      if (config.devices.size() >= kMaxDevices) {
+        return fail("fleet is capped at 256 devices");
+      }
+      config.devices.push_back(std::move(spec));
+    }
+  }
+
+  if (Status status = config.validate(); !status.ok()) return status;
+  return config;
+}
+
+}  // namespace qucad::fleet

@@ -1,0 +1,123 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+#include "noise/calibration_history.hpp"
+#include "transpile/coupling.hpp"
+
+namespace qucad::fleet {
+
+/// One simulated device of a fleet: a topology preset (which fixes the
+/// coupling map, qubit count, and the paper-matched spike-episode schedule)
+/// plus per-device perturbations of the baseline noise profile and the
+/// knobs of its independent drift stream. Two specs with the same fields
+/// generate bitwise-identical calibration day sequences (DriftStream), so a
+/// fleet scenario is fully described by its FleetConfig.
+struct DeviceSpec {
+  /// Identifier reported in fleet results ([A-Za-z0-9_.-], <= 64 chars).
+  std::string name = "device";
+
+  /// Topology preset: "belem" (5-qubit T) or "jakarta" (7-qubit H). The
+  /// preset supplies the coupling map and the FluctuationScenario the drift
+  /// stream perturbs.
+  std::string topology = "belem";
+
+  /// Seed of the device's Ornstein-Uhlenbeck drift stream.
+  std::uint64_t drift_seed = 1;
+
+  /// Multiplies every gate/readout error baseline: device-to-device
+  /// heterogeneity in overall noise level. Must be in (0, 100].
+  double error_scale = 1.0;
+
+  /// Multiplies the T1/T2 baselines. Must be in (0, 100].
+  double t_scale = 1.0;
+
+  /// Multiplies the scenario's daily OU log-volatility (how restless this
+  /// device's calibration is). Must be in [0, 100].
+  double ou_sigma_scale = 1.0;
+
+  /// Per-parameter lognormal jitter (sigma, log space) applied to each
+  /// baseline individually, seeded by drift_seed — makes each device's
+  /// noise *profile* distinct, not just its overall level. In [0, 4].
+  double baseline_jitter = 0.0;
+
+  /// Shifts every spike episode by this many days, so devices sharing a
+  /// topology preset do not surge in lockstep. In [-4096, 4096].
+  int episode_shift = 0;
+
+  /// Per-day probability of a maintenance event: a persistent step change
+  /// of the device's error and T1/T2 levels (recalibration, cooldown, a
+  /// two-qubit gate retune). In [0, 1].
+  double maintenance_rate = 0.0;
+
+  /// Seed of the maintenance event stream; 0 derives it from drift_seed so
+  /// the two streams stay independent but reproducible.
+  std::uint64_t maintenance_seed = 0;
+
+  /// Belem-topology spec with paper-matched baselines (the device behind
+  /// the fig. 4 heterogeneity study when seeded 2021).
+  static DeviceSpec belem(std::string name = "belem",
+                          std::uint64_t drift_seed = 2021);
+
+  /// Jakarta-topology spec (the fig. 8 longitudinal device when seeded
+  /// 1107).
+  static DeviceSpec jakarta(std::string name = "jakarta",
+                            std::uint64_t drift_seed = 1107);
+
+  /// Field validation (ranges above, known topology, well-formed name).
+  Status validate() const;
+
+  /// The device's coupling map (from the topology preset).
+  StatusOr<CouplingMap> coupling() const;
+
+  /// The perturbed fluctuation scenario this device drifts under: the
+  /// topology preset's baselines scaled by error_scale/t_scale, jittered by
+  /// baseline_jitter (seeded), OU volatility scaled, episodes shifted.
+  StatusOr<FluctuationScenario> scenario() const;
+};
+
+/// A whole fleet: N device specs plus the shared day count. Serializable to
+/// a line-oriented text format (`to_text`/`parse`) so fleet scenarios can be
+/// checked in, diffed, and fuzzed; parse is exception-free and rejects
+/// malformed input with Status (it sits on the untrusted-input surface).
+struct FleetConfig {
+  /// Days each drift stream generates (offline + online windows). In
+  /// [1, 4096].
+  int days = CalibrationHistory::kTotalDays;
+
+  /// Fleet-level seed recorded by heterogeneous(); informational in a
+  /// hand-written config.
+  std::uint64_t seed = 7;
+
+  std::vector<DeviceSpec> devices;  // at most 256
+
+  /// Validates the fleet fields and every device spec; device names must be
+  /// unique.
+  Status validate() const;
+
+  /// Generates n same-topology (belem) devices with per-device perturbed
+  /// baselines, distinct drift seeds, shifted episodes, and occasional
+  /// maintenance events — heterogeneity as device-to-device noise
+  /// variation over one topology class, which is what a single shared
+  /// repository can serve (calibration feature vectors are
+  /// topology-dimensioned).
+  static FleetConfig heterogeneous(int num_devices, std::uint64_t seed,
+                                   int days = CalibrationHistory::kTotalDays);
+
+  /// Canonical text form:
+  ///   fleet days=<int> seed=<u64>
+  ///   device name=<id> topology=<preset> seed=<u64> ... (one line each)
+  /// parse(to_text()) reproduces the config exactly.
+  std::string to_text() const;
+
+  /// Parses the text form. '#' starts a comment; unknown keys, malformed
+  /// numbers, duplicate names, and out-of-range values are
+  /// kInvalidArgument. Never throws.
+  static StatusOr<FleetConfig> parse(std::string_view text);
+};
+
+}  // namespace qucad::fleet

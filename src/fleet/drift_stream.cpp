@@ -1,0 +1,77 @@
+#include "fleet/drift_stream.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/rng.hpp"
+
+namespace qucad::fleet {
+
+namespace {
+
+// Same salt device_spec.cpp documents: derives the maintenance stream from
+// the drift seed when no explicit maintenance seed is set, so the two
+// streams are independent but jointly reproducible.
+constexpr std::uint64_t kMaintenanceSalt = 0x9E3779B97F4A7C15ULL;
+
+double clamp_rate(double v, double hi) { return std::clamp(v, 1e-6, hi); }
+
+// Applies the current maintenance scales to one day's calibration, staying
+// inside the same bands the OU generator clamps to.
+void apply_scales(Calibration& cal, double error_scale, double t_scale) {
+  for (int q = 0; q < cal.num_qubits(); ++q) {
+    cal.set_sx_error(q, clamp_rate(cal.sx_error(q) * error_scale, 2e-2));
+    const ReadoutError ro = cal.readout(q);
+    cal.set_readout(q, ReadoutError{
+                           clamp_rate(ro.p1_given_0 * error_scale, 0.2),
+                           clamp_rate(ro.p0_given_1 * error_scale, 0.2)});
+    const double t1 = std::clamp(cal.t1_us(q) * t_scale, 20.0, 400.0);
+    const double t2 = std::clamp(cal.t2_us(q) * t_scale, 10.0, 2.0 * t1);
+    cal.set_t1_t2(q, t1, t2);
+  }
+  for (const auto& [a, b] : cal.edges()) {
+    cal.set_cx_error(a, b, clamp_rate(cal.cx_error(a, b) * error_scale, 0.25));
+  }
+}
+
+}  // namespace
+
+StatusOr<DriftStream> DriftStream::create(const DeviceSpec& spec, int days) {
+  if (days < 1 || days > 4096) {
+    return Status::invalid_argument("drift stream days must be in [1, 4096]");
+  }
+  StatusOr<FluctuationScenario> scenario = spec.scenario();
+  if (!scenario.ok()) return scenario.status();
+
+  std::vector<Calibration> stream =
+      generate_fluctuation_days(*scenario, days, spec.drift_seed);
+
+  std::vector<int> maintenance_days;
+  if (spec.maintenance_rate > 0.0) {
+    const std::uint64_t seed = spec.maintenance_seed != 0
+                                   ? spec.maintenance_seed
+                                   : spec.drift_seed ^ kMaintenanceSalt;
+    Rng rng(seed);
+    // Scales persist from one event to the next: a maintenance pass leaves
+    // the device on a new level until the next one.
+    double error_scale = 1.0;
+    double t_scale = 1.0;
+    for (int d = 0; d < days; ++d) {
+      if (rng.bernoulli(spec.maintenance_rate)) {
+        error_scale = std::clamp(std::exp(rng.normal(0.0, 0.35)), 0.5, 2.2);
+        t_scale = std::clamp(std::exp(rng.normal(0.0, 0.15)), 0.7, 1.4);
+        maintenance_days.push_back(d);
+      }
+      if (error_scale != 1.0 || t_scale != 1.0) {
+        apply_scales(stream[static_cast<std::size_t>(d)], error_scale,
+                     t_scale);
+      }
+    }
+  }
+
+  return DriftStream(spec, CalibrationHistory(std::move(stream)),
+                     std::move(maintenance_days));
+}
+
+}  // namespace qucad::fleet

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <vector>
+
+#include "common/status.hpp"
+#include "fleet/device_spec.hpp"
+#include "noise/calibration_history.hpp"
+
+namespace qucad::fleet {
+
+/// One device's seeded longitudinal calibration stream: the shared
+/// Ornstein-Uhlenbeck day generator (noise/calibration_history.hpp —
+/// random-walk T1/T2/gate-error/readout drift plus the scenario's spike
+/// episodes) overlaid with the spec's occasional maintenance events, each a
+/// persistent step change of the device's error and T1/T2 levels.
+///
+/// The stream is a pure function of (DeviceSpec, days): two streams built
+/// from the same spec are bitwise identical, and a spec with
+/// maintenance_rate == 0 reproduces generate_fluctuation_days exactly — the
+/// paper-figure benches and the fleet simulator share one calibration
+/// synthesis code path.
+class DriftStream {
+ public:
+  /// Builds the full day sequence. Rejects invalid specs and day counts
+  /// outside [1, 4096] with kInvalidArgument; never throws.
+  static StatusOr<DriftStream> create(const DeviceSpec& spec, int days);
+
+  const DeviceSpec& spec() const { return spec_; }
+
+  /// The generated day sequence, CalibrationHistory-compatible: day(d),
+  /// slice(), date_string() all work as for a synthesized single-device
+  /// history.
+  const CalibrationHistory& history() const { return history_; }
+
+  /// Days on which a maintenance event fired (ascending).
+  const std::vector<int>& maintenance_days() const {
+    return maintenance_days_;
+  }
+
+ private:
+  DriftStream(DeviceSpec spec, CalibrationHistory history,
+              std::vector<int> maintenance_days)
+      : spec_(std::move(spec)),
+        history_(std::move(history)),
+        maintenance_days_(std::move(maintenance_days)) {}
+
+  DeviceSpec spec_;
+  CalibrationHistory history_;
+  std::vector<int> maintenance_days_;
+};
+
+}  // namespace qucad::fleet

@@ -75,8 +75,8 @@ FluctuationScenario FluctuationScenario::jakarta() {
   return s;
 }
 
-CalibrationHistory::CalibrationHistory(const FluctuationScenario& scenario,
-                                       int days, std::uint64_t seed) {
+std::vector<Calibration> generate_fluctuation_days(
+    const FluctuationScenario& scenario, int days, std::uint64_t seed) {
   require(days > 0, "history requires at least one day");
   require(scenario.num_qubits > 0 &&
               scenario.sx_base.size() == static_cast<std::size_t>(scenario.num_qubits) &&
@@ -102,7 +102,8 @@ CalibrationHistory::CalibrationHistory(const FluctuationScenario& scenario,
     state += scenario.ou_reversion * (base_log - state) + rng.normal(0.0, sigma);
   };
 
-  history_.reserve(static_cast<std::size_t>(days));
+  std::vector<Calibration> history;
+  history.reserve(static_cast<std::size_t>(days));
   for (int d = 0; d < days; ++d) {
     for (std::size_t q = 0; q < nq; ++q) {
       ou_step(log_sx[q], std::log(scenario.sx_base[q]), scenario.ou_sigma);
@@ -157,9 +158,14 @@ CalibrationHistory::CalibrationHistory(const FluctuationScenario& scenario,
                                       q_factor,
                                   0.25));
     }
-    history_.push_back(std::move(cal));
+    history.push_back(std::move(cal));
   }
+  return history;
 }
+
+CalibrationHistory::CalibrationHistory(const FluctuationScenario& scenario,
+                                       int days, std::uint64_t seed)
+    : history_(generate_fluctuation_days(scenario, days, seed)) {}
 
 CalibrationHistory::CalibrationHistory(std::vector<Calibration> days)
     : history_(std::move(days)) {

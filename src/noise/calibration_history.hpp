@@ -49,6 +49,16 @@ struct FluctuationScenario {
   static FluctuationScenario jakarta();
 };
 
+/// Generates `days` consecutive daily calibrations from a scenario: log-space
+/// Ornstein-Uhlenbeck steps around each baseline plus the scenario's scheduled
+/// spike episodes, deterministically from `seed`. This is THE calibration
+/// synthesis code path — `CalibrationHistory` delegates to it, and the fleet
+/// drift streams (src/fleet) build their per-device day sequences on top of
+/// it — so paper-figure benches and fleet simulations draw from one
+/// generator.
+std::vector<Calibration> generate_fluctuation_days(
+    const FluctuationScenario& scenario, int days, std::uint64_t seed);
+
 /// Deterministic daily calibration history generated from a scenario.
 /// The paper's timeline: day 0 = Aug 10 2021; days [0, 243) are the offline
 /// optimization window, days [243, 389) the 146-day online test window.

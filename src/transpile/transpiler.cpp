@@ -11,6 +11,12 @@ TranspiledModel transpile_model(const Circuit& logical,
                                 const TranspileOptions& options) {
   require(logical.num_qubits() <= coupling.num_qubits(),
           "circuit does not fit on device");
+  // Validate before the layout search: noise_aware_layout indexes candidate
+  // layouts by these readout qubits, so a hostile entry must be rejected
+  // here, not discovered as an out-of-bounds read inside layout_cost.
+  for (int l : readout_logical) {
+    require(l >= 0 && l < logical.num_qubits(), "readout qubit out of range");
+  }
 
   const Layout layout =
       (calibration != nullptr && options.noise_aware_layout)
@@ -20,9 +26,6 @@ TranspiledModel transpile_model(const Circuit& logical,
   TranspiledModel model;
   model.routed = route_circuit(logical, coupling, layout);
   model.readout_logical = readout_logical;
-  for (int l : readout_logical) {
-    require(l >= 0 && l < logical.num_qubits(), "readout qubit out of range");
-  }
 
   // First physical occurrence of each trainable parameter. Parameters are
   // expected to appear on exactly one gate in QNN ansatze; if shared, the

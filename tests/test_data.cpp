@@ -8,6 +8,7 @@
 #include "data/iris_synth.hpp"
 #include "data/mnist_synth.hpp"
 #include "data/seismic_synth.hpp"
+#include "data/vibration_synth.hpp"
 
 namespace qucad {
 namespace {
@@ -243,6 +244,56 @@ TEST(Seismic, StaLtaDetectsOnset) {
 
 TEST(Seismic, FeatureExtractionRejectsShortTraces) {
   EXPECT_THROW(seismic_features(std::vector<double>(10, 0.0)), PreconditionError);
+}
+
+TEST(Vibration, ShapeAndDeterminism) {
+  const Dataset a = make_vibration(200, 23);
+  EXPECT_EQ(a.size(), 200u);
+  EXPECT_EQ(a.num_features(), 4u);
+  EXPECT_EQ(a.num_classes, 4);
+  const Dataset b = make_vibration(200, 23);
+  EXPECT_EQ(a.features, b.features);
+  EXPECT_EQ(a.labels, b.labels);
+  // Round-robin labels: every class gets a quarter of the samples.
+  int counts[4] = {0, 0, 0, 0};
+  for (int label : a.labels) {
+    ASSERT_GE(label, 0);
+    ASSERT_LT(label, 4);
+    ++counts[label];
+  }
+  for (int c : counts) EXPECT_EQ(c, 50);
+}
+
+TEST(Vibration, FaultSignaturesSeparateInFeatureSpace) {
+  // Each fault class must move its diagnostic feature relative to healthy:
+  // misalignment raises the 2x/1x harmonic ratio, a bearing fault raises
+  // kurtosis and crest factor, imbalance raises total energy.
+  const Dataset d = make_vibration(800, 29);
+  double mean[4][4] = {};
+  int count[4] = {};
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    for (std::size_t f = 0; f < 4; ++f) {
+      mean[d.labels[i]][f] += d.features[i][f];
+    }
+    ++count[d.labels[i]];
+  }
+  for (int k = 0; k < 4; ++k) {
+    for (int f = 0; f < 4; ++f) mean[k][f] /= count[k];
+  }
+  EXPECT_GT(mean[1][0], mean[0][0]);  // imbalance: more energy
+  EXPECT_GT(mean[2][1], 2.0 * mean[0][1]);  // misalignment: 2x/1x ratio
+  EXPECT_GT(mean[3][2], mean[0][2] + 1.0);  // bearing: excess kurtosis
+  EXPECT_GT(mean[3][3], mean[0][3]);        // bearing: crest factor
+}
+
+TEST(Vibration, WaveformAndFeatureHelpersValidate) {
+  Rng rng(5);
+  const std::vector<double> trace = vibration_waveform(3, rng, 12.0);
+  EXPECT_EQ(trace.size(), 256u);
+  EXPECT_EQ(vibration_features(trace).size(), 4u);
+  EXPECT_THROW(vibration_waveform(4, rng, 12.0), PreconditionError);
+  EXPECT_THROW(vibration_features(std::vector<double>(10, 0.0)),
+               PreconditionError);
 }
 
 }  // namespace

@@ -167,6 +167,25 @@ TEST(Transpiler, OversizedCircuitRejected) {
                PreconditionError);
 }
 
+TEST(Transpiler, OutOfRangeReadoutRejectedBeforeLayoutSearch) {
+  // Fuzz-found (fuzz/corpus/transpile/hostile_readout_repro): an
+  // out-of-range readout qubit used to reach the noise-aware layout
+  // search, where layout_cost indexed past the candidate layout. The
+  // hostile readout set must be rejected up front, on both the
+  // noise-aware and the trivial-layout paths.
+  Circuit c(2);
+  c.ry(0, trainable(0));
+  c.cx(0, 1);
+  const CalibrationHistory h(FluctuationScenario::belem(), 1, 3);
+  TranspileOptions noise_aware;
+  noise_aware.noise_aware_layout = true;
+  EXPECT_THROW(transpile_model(c, {0, 3}, CouplingMap::belem(), &h.day(0),
+                               noise_aware),
+               PreconditionError);
+  EXPECT_THROW(transpile_model(c, {-1}, CouplingMap::belem(), nullptr),
+               PreconditionError);
+}
+
 TEST(PhysicalCircuit, CountsAndDepth) {
   PhysicalCircuit pc(2);
   pc.push({PhysOpKind::RZ, 0, -1, 0.3, -1, 1.0});

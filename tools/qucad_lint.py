@@ -4,9 +4,10 @@
 Machine-checks the conventions the codebase is built on — see
 docs/ARCHITECTURE.md "Correctness tooling":
 
-  no-throw-serving      src/serve/ and src/io/ are the no-abort serving
-                        path: errors travel as Status/StatusOr, so `throw`
-                        may not appear there (tests excluded by scope).
+  no-throw-serving      src/serve/, src/io/ and src/fleet/ are the no-abort
+                        serving path: errors travel as Status/StatusOr, so
+                        `throw` may not appear there (tests excluded by
+                        scope).
   registry-only-backend NoisyExecutor / PureExecutor /
                         SampledStatevectorBackend are constructed only
                         inside src/backend/, src/sim/, src/transpile/ (the
@@ -70,9 +71,9 @@ RULES = [
     Rule(
         "no-throw-serving",
         r"\bthrow\b",
-        "src/serve/ and src/io/ must report errors as Status/StatusOr, "
-        "never throw (the serving path's no-abort contract)",
-        dirs=("src/serve", "src/io"),
+        "src/serve/, src/io/ and src/fleet/ must report errors as "
+        "Status/StatusOr, never throw (the serving path's no-abort contract)",
+        dirs=("src/serve", "src/io", "src/fleet"),
     ),
     Rule(
         "registry-only-backend",
@@ -211,27 +212,30 @@ def lint_tree(root, allow):
 
 # --- self-test -------------------------------------------------------------
 
-# One synthetic violation per rule (plus a clean file that must stay clean):
-# the self-test proves every rule both fires and doesn't over-fire, and that
-# comment/string stripping and the allowlist mechanism work.
+# Synthetic violations per rule (plus a clean file that must stay clean):
+# the self-test proves every rule fires in every directory it claims to
+# cover and doesn't over-fire, and that comment/string stripping and the
+# allowlist mechanism work.
 SELF_TEST_CASES = {
-    "no-throw-serving": (
-        "src/serve/bad.cpp",
-        "void f() { throw PreconditionError(\"boom\"); }\n",
-    ),
-    "registry-only-backend": (
-        "src/qnn/bad.cpp",
-        "void f() { NoisyExecutor executor(phys, nm); }\n",
-    ),
-    "positional-readout": (
-        "src/eval/bad.cpp",
-        "double g() { return logits[readout_qubits[0]]; }\n"
-        "double h(int qubit) { return run_logits(x)[qubit]; }\n",
-    ),
-    "banned-call": (
-        "src/data/bad.cpp",
-        "int f() { std::random_device rd; return rand() % 6; }\n",
-    ),
+    "no-throw-serving": [
+        ("src/serve/bad.cpp",
+         "void f() { throw PreconditionError(\"boom\"); }\n"),
+        ("src/fleet/bad.cpp",
+         "void g() { throw std::runtime_error(\"fleet\"); }\n"),
+    ],
+    "registry-only-backend": [
+        ("src/qnn/bad.cpp",
+         "void f() { NoisyExecutor executor(phys, nm); }\n"),
+    ],
+    "positional-readout": [
+        ("src/eval/bad.cpp",
+         "double g() { return logits[readout_qubits[0]]; }\n"
+         "double h(int qubit) { return run_logits(x)[qubit]; }\n"),
+    ],
+    "banned-call": [
+        ("src/data/bad.cpp",
+         "int f() { std::random_device rd; return rand() % 6; }\n"),
+    ],
 }
 
 CLEAN_FILE = (
@@ -253,20 +257,23 @@ def self_test():
     failures = []
     with tempfile.TemporaryDirectory() as tmp:
         tmp_root = pathlib.Path(tmp)
-        for rel, content in [*SELF_TEST_CASES.values(), CLEAN_FILE]:
+        all_cases = [case for cases in SELF_TEST_CASES.values()
+                     for case in cases]
+        for rel, content in [*all_cases, CLEAN_FILE]:
             target = tmp_root / rel
             target.parent.mkdir(parents=True, exist_ok=True)
             target.write_text(content)
         findings = lint_tree(tmp_root, allow=set())
-        for rule_id, (rel, _) in SELF_TEST_CASES.items():
-            hits = [f for f in findings if f"[{rule_id}]" in f and rel in f]
-            if not hits:
-                failures.append(f"rule {rule_id} did not fire on {rel}")
+        for rule_id, cases in SELF_TEST_CASES.items():
+            for rel, _ in cases:
+                hits = [f for f in findings if f"[{rule_id}]" in f and rel in f]
+                if not hits:
+                    failures.append(f"rule {rule_id} did not fire on {rel}")
         clean_hits = [f for f in findings if CLEAN_FILE[0] in f]
         if clean_hits:
             failures.append(f"clean file produced findings: {clean_hits}")
         # The allowlist must silence exactly the exempted (rule, file) pair.
-        rel = SELF_TEST_CASES["no-throw-serving"][0]
+        rel = SELF_TEST_CASES["no-throw-serving"][0][0]
         allowed = lint_tree(tmp_root, allow={("no-throw-serving", rel)})
         if any(f"[no-throw-serving]" in f and rel in f for f in allowed):
             failures.append("allowlist entry did not suppress its finding")
